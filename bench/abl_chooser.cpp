@@ -1,0 +1,72 @@
+// Ablation A1: target-choice heuristics on Scenario 1.
+//
+// Lesson #4 says a heuristic that picks the same number of targets on every
+// server would be the best choice.  This ablation compares the deployed
+// round-robin, BeeGFS' default random choice, a host-interleaved
+// round-robin, and the balanced chooser, across stripe counts.
+#include <map>
+
+#include "bench/common.hpp"
+#include "stats/summary.hpp"
+
+using namespace beesim;
+
+int main() {
+  const std::vector<std::pair<beegfs::ChooserKind, std::string>> choosers{
+      {beegfs::ChooserKind::kRoundRobin, "round-robin (deployed)"},
+      {beegfs::ChooserKind::kRandom, "random (BeeGFS default)"},
+      {beegfs::ChooserKind::kRoundRobinInterleaved, "round-robin interleaved"},
+      {beegfs::ChooserKind::kBalanced, "balanced (Lesson #4)"},
+  };
+  const std::vector<unsigned> counts{2, 4, 6, 8};
+
+  std::vector<harness::CampaignEntry> entries;
+  for (const auto& [kind, label] : choosers) {
+    for (const auto count : counts) {
+      harness::CampaignEntry entry;
+      entry.config = bench::plafrimRun(topo::Scenario::kEthernet10G, 8, 8, count);
+      entry.config.fs.chooser = kind;
+      entry.factors["chooser"] = label;
+      entry.factors["count"] = std::to_string(count);
+      entries.push_back(std::move(entry));
+    }
+  }
+  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 151);
+
+  std::map<std::string, std::map<unsigned, stats::Summary>> results;
+  util::TableWriter table({"chooser", "count", "mean MiB/s", "sd", "min", "max"});
+  for (const auto& [kind, label] : choosers) {
+    for (const auto count : counts) {
+      const auto s = stats::summarize(store.metric(
+          "bandwidth_mibps", {{"chooser", label}, {"count", std::to_string(count)}}));
+      results[label][count] = s;
+      table.addRow({label, std::to_string(count), util::fmt(s.mean, 1), util::fmt(s.sd, 1),
+                    util::fmt(s.min, 1), util::fmt(s.max, 1)});
+    }
+  }
+  bench::printFigure("Ablation A1: chooser heuristics, Scenario 1 (8 nodes x 8 ppn)", table);
+  store.writeCsv(bench::resultsPath("abl_chooser.csv"));
+
+  core::CheckList checks("Ablation A1 -- chooser heuristics");
+  // Balanced chooser dominates at the problematic count 4.
+  checks.expectGreater("balanced beats deployed RR at count 4 by >40%",
+                       results["balanced (Lesson #4)"][4].mean,
+                       1.4 * results["round-robin (deployed)"][4].mean);
+  // The interleaved RR order would also have fixed count 4 ((2,2) windows).
+  checks.expectNear("interleaved RR ~= balanced at count 4",
+                    results["round-robin interleaved"][4].mean,
+                    results["balanced (Lesson #4)"][4].mean, 0.05);
+  // Random falls in between: better on average than deployed RR at count 4,
+  // but with far higher spread (best case as likely as worst case).
+  checks.expectGreater("random mean > deployed RR mean at count 4",
+                       results["random (BeeGFS default)"][4].mean,
+                       results["round-robin (deployed)"][4].mean);
+  checks.expectGreater("random sd >> balanced sd at count 4",
+                       results["random (BeeGFS default)"][4].sd,
+                       3.0 * results["balanced (Lesson #4)"][4].sd);
+  // At the maximum count all choosers coincide (every target used).
+  checks.expectNear("all choosers equal at count 8",
+                    results["round-robin (deployed)"][8].mean,
+                    results["balanced (Lesson #4)"][8].mean, 0.03);
+  return bench::finish(checks);
+}

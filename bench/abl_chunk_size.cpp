@@ -1,0 +1,58 @@
+// Ablation A3: stripe (chunk) size and transfer size.
+//
+// The paper fixes the chunk size at PlaFRIM's 512 KiB and the transfer size
+// at 1 MiB ("aligned to stripe size and large enough ... to require more
+// than one OST to be accessed for each request"), then studies only the
+// *count*.  This ablation justifies that choice: for large contiguous N-1
+// writes, bytes-per-target is essentially independent of the chunk size, so
+// bandwidth moves by at most a few percent across two orders of magnitude
+// of chunk sizes -- the stripe count is where the performance lives.
+#include <map>
+
+#include "bench/common.hpp"
+#include "stats/summary.hpp"
+
+using namespace beesim;
+using namespace beesim::util::literals;
+
+int main() {
+  const std::vector<util::Bytes> chunkSizes{64_KiB, 256_KiB, 512_KiB, 1_MiB, 4_MiB};
+  core::CheckList checks("Ablation A3 -- chunk size");
+
+  for (const auto scenario : {topo::Scenario::kEthernet10G, topo::Scenario::kOmniPath100G}) {
+    const bool s1 = scenario == topo::Scenario::kEthernet10G;
+    const std::size_t nodes = s1 ? 8 : 32;
+
+    std::vector<harness::CampaignEntry> entries;
+    for (const auto chunk : chunkSizes) {
+      harness::CampaignEntry entry;
+      entry.config = bench::plafrimRun(scenario, nodes, 8, 4);
+      entry.config.fs.defaultStripe.chunkSize = chunk;
+      // Keep the paper's alignment rule: transfer = max(2 * chunk, 1 MiB).
+      entry.config.ior.transferSize = std::max<util::Bytes>(2 * chunk, 1_MiB);
+      entry.factors["chunk_kib"] = std::to_string(chunk / util::kKiB);
+      entries.push_back(std::move(entry));
+    }
+    const auto store =
+        harness::executeCampaign(entries, bench::protocolOptions(), s1 ? 191 : 192);
+
+    util::TableWriter table({"chunk size", "mean MiB/s", "sd"});
+    std::map<util::Bytes, double> means;
+    for (const auto chunk : chunkSizes) {
+      const auto s = stats::summarize(store.metric(
+          "bandwidth_mibps", {{"chunk_kib", std::to_string(chunk / util::kKiB)}}));
+      means[chunk] = s.mean;
+      table.addRow({util::formatBytes(chunk), util::fmt(s.mean, 1), util::fmt(s.sd, 1)});
+    }
+    bench::printFigure(std::string("Ablation A3, ") + topo::scenarioLabel(scenario) +
+                           " (stripe 4)",
+                       table);
+
+    const std::string tag = s1 ? " [S1]" : " [S2]";
+    for (const auto chunk : chunkSizes) {
+      checks.expectNear("chunk " + util::formatBytes(chunk) + " within 5% of 512 KiB" + tag,
+                        means[chunk], means[512_KiB], 0.05);
+    }
+  }
+  return bench::finish(checks);
+}

@@ -1,0 +1,70 @@
+// Ablation A2: the PlaFRIM administrators' change.
+//
+// The paper's conclusions led PlaFRIM to change its default stripe count
+// from 4 to 8; the authors estimate a transparent write-bandwidth gain of
+// more than 40%.  This bench measures exactly that before/after pair in
+// both scenarios and runs the StripeCountAdvisor on the full measurement
+// set, which must recommend the maximum count.
+#include "bench/common.hpp"
+#include "core/advisor.hpp"
+#include "stats/summary.hpp"
+
+using namespace beesim;
+
+int main() {
+  core::CheckList checks("Ablation A2 -- default stripe count 4 -> 8");
+
+  for (const auto scenario : {topo::Scenario::kEthernet10G, topo::Scenario::kOmniPath100G}) {
+    const bool s1 = scenario == topo::Scenario::kEthernet10G;
+    const std::size_t nodes = s1 ? 8 : 32;
+
+    std::vector<harness::CampaignEntry> entries;
+    for (unsigned count = 1; count <= 8; ++count) {
+      harness::CampaignEntry entry;
+      entry.config = bench::plafrimRun(scenario, nodes, 8, count);
+      entry.factors["count"] = std::to_string(count);
+      entries.push_back(std::move(entry));
+    }
+    const auto cluster = entries.front().config.cluster;
+    const auto store = harness::executeCampaign(entries, bench::protocolOptions(),
+                                                s1 ? 161 : 162,
+                                                bench::allocationAnnotator(cluster));
+
+    // Feed the advisor with every (count, allocation, bandwidth) sample.
+    core::StripeCountAdvisor advisor;
+    for (const auto& row : store.rows()) {
+      // Parse the allocation back from its "(a,b)" key via per-host counts.
+      const auto& key = row.factors.at("alloc");
+      const auto comma = key.find(',');
+      const std::size_t a = std::stoul(key.substr(1, comma - 1));
+      const std::size_t b = std::stoul(key.substr(comma + 1));
+      advisor.add(static_cast<unsigned>(std::stoul(row.factors.at("count"))),
+                  core::Allocation(std::vector<std::size_t>{a, b}),
+                  row.metrics.at("bandwidth_mibps"));
+    }
+    const auto recommendation = advisor.recommend();
+
+    const double before =
+        stats::summarize(store.metric("bandwidth_mibps", {{"count", "4"}})).mean;
+    const double after =
+        stats::summarize(store.metric("bandwidth_mibps", {{"count", "8"}})).mean;
+
+    util::TableWriter table({"default", "mean MiB/s", "gain"});
+    table.addRow({"stripe count 4 (old)", util::fmt(before, 1), ""});
+    table.addRow({"stripe count 8 (new)", util::fmt(after, 1),
+                  "+" + util::fmt(100.0 * (after - before) / before, 1) + "%"});
+    bench::printFigure(std::string("Ablation A2, ") + topo::scenarioLabel(scenario), table);
+    std::printf("advisor: %s\n\n", recommendation.rationale.c_str());
+
+    const std::string tag = s1 ? " [S1]" : " [S2]";
+    checks.expect("advisor recommends the maximum stripe count" + tag,
+                  recommendation.stripeCount == 8,
+                  "recommended " + std::to_string(recommendation.stripeCount));
+    // The paper estimates >40% transparent gain; that figure is driven by
+    // Scenario 1 (1460 -> 2200 MiB/s = +51%).  Its own Scenario-2 numbers
+    // (6100 -> 8064) are a +32% gain, so the S2 bar sits at +25%.
+    checks.expectGreater("default change gains > 40% (paper's estimate)" + tag, after,
+                         (s1 ? 1.4 : 1.25) * before);
+  }
+  return bench::finish(checks);
+}

@@ -1,0 +1,116 @@
+// Calibration probe: prints the simulator's value at every anchor point the
+// PlaFRIM calibration was fitted against (see topology/plafrim.hpp and
+// EXPERIMENTS.md).  Not a paper figure; a tool for keeping the calibration
+// honest when the model evolves.
+#include <cstdio>
+
+#include "beegfs/deployment.hpp"
+#include "beegfs/filesystem.hpp"
+#include "core/allocation.hpp"
+#include "ior/runner.hpp"
+#include "sim/fluid.hpp"
+#include "topology/plafrim.hpp"
+#include "util/table.hpp"
+
+using namespace beesim;
+using namespace beesim::util::literals;
+
+namespace {
+
+/// One noise-free run: `nodes` x `ppn`, stripe `count` (or pinned targets),
+/// 32 GiB total.
+ior::IorResult probe(topo::Scenario scenario, std::size_t nodes, int ppn, unsigned count,
+                     std::optional<std::vector<std::size_t>> pinned = std::nullopt,
+                     util::Bytes total = 32_GiB) {
+  auto cluster = topo::makePlafrim(scenario, nodes);
+  // Noise-free probe: strip device/link variability so anchors are
+  // deterministic.
+  cluster.network.serverLinkNoiseSigmaLog = 0.0;
+  for (auto& host : cluster.hosts) {
+    for (auto& target : host.targets) {
+      target.variability = topo::VariabilitySpec{};
+    }
+  }
+  beegfs::BeegfsParams params;
+  params.defaultStripe.stripeCount = count;
+  params.chooser = beegfs::ChooserKind::kRoundRobin;
+
+  sim::FluidSimulator fluid;
+  beegfs::Deployment deployment(fluid, cluster, params, util::Rng(42));
+  beegfs::FileSystem fs(deployment, util::Rng(43));
+
+  auto job = ior::IorJob::onFirstNodes(nodes, ppn);
+  ior::IorOptions options;
+  options.blockSize = ior::blockSizeForTotal(total, job.ranks());
+  return ior::runIor(fs, job, options, std::move(pinned));
+}
+
+}  // namespace
+
+int main() {
+  util::TableWriter table(
+      {"anchor", "scenario", "nodes", "ppn", "count/alloc", "paper MiB/s", "model MiB/s"});
+
+  using topo::Scenario;
+  auto row = [&](const char* name, Scenario s, std::size_t nodes, int ppn, const char* cfg,
+                 const char* paper, double model) {
+    table.addRow({name, s == Scenario::kEthernet10G ? "1" : "2", std::to_string(nodes),
+                  std::to_string(ppn), cfg, paper, util::fmt(model, 0)});
+  };
+
+  // -- Scenario 1 anchors. -------------------------------------------------
+  row("S1 single node", Scenario::kEthernet10G, 1, 8, "4 (RR)", "~880",
+      probe(Scenario::kEthernet10G, 1, 8, 4).bandwidth);
+  row("S1 plateau (Fig4a)", Scenario::kEthernet10G, 4, 8, "4 (RR=(1,3))", "~1460",
+      probe(Scenario::kEthernet10G, 4, 8, 4).bandwidth);
+  row("S1 8 nodes (Fig6a)", Scenario::kEthernet10G, 8, 8, "4 (RR=(1,3))", "~1460",
+      probe(Scenario::kEthernet10G, 8, 8, 4).bandwidth);
+  row("S1 (0,1)", Scenario::kEthernet10G, 8, 8, "(0,1)", "~1100",
+      probe(Scenario::kEthernet10G, 8, 8, 1, std::vector<std::size_t>{4}).bandwidth);
+  row("S1 (0,2)", Scenario::kEthernet10G, 8, 8, "(0,2)", "~1100",
+      probe(Scenario::kEthernet10G, 8, 8, 2, std::vector<std::size_t>{4, 5}).bandwidth);
+  row("S1 (1,1)", Scenario::kEthernet10G, 8, 8, "(1,1)", "~2200",
+      probe(Scenario::kEthernet10G, 8, 8, 2, std::vector<std::size_t>{0, 4}).bandwidth);
+  row("S1 (1,2)", Scenario::kEthernet10G, 8, 8, "(1,2)", "~1650",
+      probe(Scenario::kEthernet10G, 8, 8, 3, std::vector<std::size_t>{0, 4, 5}).bandwidth);
+  row("S1 (2,3)", Scenario::kEthernet10G, 8, 8, "(2,3)", "~1830",
+      probe(Scenario::kEthernet10G, 8, 8, 5, std::vector<std::size_t>{0, 1, 4, 5, 6}).bandwidth);
+  row("S1 (3,3)", Scenario::kEthernet10G, 8, 8, "(3,3)", "~2200",
+      probe(Scenario::kEthernet10G, 8, 8, 6, std::vector<std::size_t>{0, 1, 2, 4, 5, 6})
+          .bandwidth);
+  row("S1 (4,4)", Scenario::kEthernet10G, 8, 8, "(4,4)", "~2200",
+      probe(Scenario::kEthernet10G, 8, 8, 8,
+            std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7})
+          .bandwidth);
+
+  // -- Scenario 2 anchors. -------------------------------------------------
+  row("S2 single node (Fig4b)", Scenario::kOmniPath100G, 1, 8, "4 (RR)", "~1631",
+      probe(Scenario::kOmniPath100G, 1, 8, 4).bandwidth);
+  row("S2 16 nodes (Fig4b)", Scenario::kOmniPath100G, 16, 8, "4 (RR=(1,3))", "~6100",
+      probe(Scenario::kOmniPath100G, 16, 8, 4).bandwidth);
+  row("S2 32n count1 (Fig6b)", Scenario::kOmniPath100G, 32, 8, "(0,1)", "~1764",
+      probe(Scenario::kOmniPath100G, 32, 8, 1, std::vector<std::size_t>{4}).bandwidth);
+  row("S2 32n count2 (1,1)", Scenario::kOmniPath100G, 32, 8, "(1,1)", "(interp ~2660)",
+      probe(Scenario::kOmniPath100G, 32, 8, 2, std::vector<std::size_t>{0, 4}).bandwidth);
+  row("S2 32n count4 (1,3)", Scenario::kOmniPath100G, 32, 8, "(1,3)", "~6100",
+      probe(Scenario::kOmniPath100G, 32, 8, 4, std::vector<std::size_t>{0, 4, 5, 6}).bandwidth);
+  row("S2 32n count6 (3,3)", Scenario::kOmniPath100G, 32, 8, "(3,3)", "(interp ~6900)",
+      probe(Scenario::kOmniPath100G, 32, 8, 6, std::vector<std::size_t>{0, 1, 2, 4, 5, 6})
+          .bandwidth);
+  row("S2 32n count6 (2,4)", Scenario::kOmniPath100G, 32, 8, "(2,4)", "~10% below (3,3)",
+      probe(Scenario::kOmniPath100G, 32, 8, 6, std::vector<std::size_t>{0, 1, 4, 5, 6, 7})
+          .bandwidth);
+  row("S2 32n count8 (Fig6b)", Scenario::kOmniPath100G, 32, 8, "(4,4)", "~8064",
+      probe(Scenario::kOmniPath100G, 32, 8, 8,
+            std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7})
+          .bandwidth);
+
+  // -- ppn anchors (Fig. 5). ------------------------------------------------
+  row("S1 8n x16ppn", Scenario::kEthernet10G, 8, 16, "4 (RR)", "~= 8ppn",
+      probe(Scenario::kEthernet10G, 8, 16, 4).bandwidth);
+  row("S2 16n x16ppn", Scenario::kOmniPath100G, 16, 16, "4 (RR)", "slightly < 8ppn",
+      probe(Scenario::kOmniPath100G, 16, 16, 4).bandwidth);
+
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

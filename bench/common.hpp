@@ -1,0 +1,82 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench binary regenerates one figure (or table) of the paper: it
+// builds the experimental configurations, runs them under the paper's
+// randomized-block protocol (100 repetitions by default; override with
+// BEESIM_REPS for quick passes), prints the same rows/series the paper
+// reports, writes the raw results as CSV next to the binary, and ends with
+// the machine-checked shape assertions (core::CheckList).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/allocation.hpp"
+#include "core/checks.hpp"
+#include "harness/campaign.hpp"
+#include "harness/concurrent.hpp"
+#include "ior/options.hpp"
+#include "topology/plafrim.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace beesim::bench {
+
+/// Repetitions per configuration; the paper uses 100.  BEESIM_REPS overrides
+/// (e.g. BEESIM_REPS=10 for a quick pass).
+inline std::size_t repetitions() {
+  if (const char* env = std::getenv("BEESIM_REPS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 100;
+}
+
+/// Protocol options used by all benches (paper Section III-C).
+inline harness::ProtocolOptions protocolOptions() {
+  harness::ProtocolOptions options;
+  options.repetitions = repetitions();
+  return options;
+}
+
+/// The paper's fixed total data size (Section III-B1).
+inline constexpr util::Bytes kTotalData = 32ULL * util::kGiB;
+
+/// A standard single-application configuration on PlaFRIM.
+inline harness::RunConfig plafrimRun(topo::Scenario scenario, std::size_t nodes, int ppn,
+                                     unsigned stripeCount, util::Bytes total = kTotalData) {
+  harness::RunConfig config;
+  config.cluster = topo::makePlafrim(scenario, nodes);
+  config.fs.defaultStripe.stripeCount = stripeCount;
+  config.job = ior::IorJob::onFirstNodes(nodes, ppn);
+  config.ior.blockSize = ior::blockSizeForTotal(total, config.job.ranks());
+  return config;
+}
+
+/// Row annotator adding the (min,max) allocation key of the run.
+inline harness::RowAnnotator allocationAnnotator(const topo::ClusterConfig& cluster) {
+  return [cluster](const harness::RunRecord& record, harness::ResultRow& row) {
+    row.factors["alloc"] = core::Allocation(record.ior.targetsUsed, cluster).key();
+  };
+}
+
+/// Print a rendered table plus a header line naming the figure.
+inline void printFigure(const std::string& title, const util::TableWriter& table) {
+  std::printf("==== %s ====\n%s\n", title.c_str(), table.render().c_str());
+}
+
+/// Print the checklist and return the process exit code (0 iff all passed).
+inline int finish(const core::CheckList& checks) {
+  std::fputs(checks.render().c_str(), stdout);
+  return checks.allPassed() ? 0 : 1;
+}
+
+/// Where benches drop their raw CSVs (current directory by default,
+/// override with BEESIM_RESULTS_DIR).
+inline std::string resultsPath(const std::string& name) {
+  const char* dir = std::getenv("BEESIM_RESULTS_DIR");
+  return (dir != nullptr ? std::string(dir) : std::string(".")) + "/" + name;
+}
+
+}  // namespace beesim::bench

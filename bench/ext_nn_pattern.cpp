@@ -1,0 +1,76 @@
+// Extension: the paper's future-work direction -- the file-per-process
+// (N-N) access pattern (Section VI: "Future work directions include ...
+// other application access patterns, such as the file-per-process (N-N)
+// strategy").
+//
+// With N-N, every rank creates its own file, so the *chooser* spreads many
+// small stripes instead of one wide one.  Hypotheses this bench probes:
+//   * with enough files, even small per-file stripe counts use all targets,
+//     so N-N bandwidth is far less sensitive to the stripe count than N-1;
+//   * N-N pays more metadata (one create per rank);
+//   * at equal total load, N-N ~= N-1 once both cover all targets.
+#include <map>
+
+#include "bench/common.hpp"
+#include "stats/summary.hpp"
+
+using namespace beesim;
+
+int main() {
+  const std::vector<unsigned> counts{1, 2, 4, 8};
+  std::vector<harness::CampaignEntry> entries;
+  for (const auto pattern : {ior::AccessPattern::kSharedFile,
+                             ior::AccessPattern::kFilePerProcess}) {
+    for (const auto count : counts) {
+      harness::CampaignEntry entry;
+      entry.config = bench::plafrimRun(topo::Scenario::kOmniPath100G, 32, 8, count);
+      entry.config.fs.chooser = beegfs::ChooserKind::kRandom;  // BeeGFS default
+      entry.config.ior.pattern = pattern;
+      entry.factors["pattern"] =
+          pattern == ior::AccessPattern::kSharedFile ? "N-1" : "N-N";
+      entry.factors["count"] = std::to_string(count);
+      entries.push_back(std::move(entry));
+    }
+  }
+  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 171);
+
+  std::map<std::string, std::map<unsigned, stats::Summary>> results;
+  std::map<std::string, std::map<unsigned, double>> meta;
+  util::TableWriter table(
+      {"pattern", "stripe count", "mean MiB/s", "sd", "metadata (ms)"});
+  for (const auto pattern : {"N-1", "N-N"}) {
+    for (const auto count : counts) {
+      const std::map<std::string, std::string> where{{"pattern", pattern},
+                                                     {"count", std::to_string(count)}};
+      results[pattern][count] = stats::summarize(store.metric("bandwidth_mibps", where));
+      meta[pattern][count] =
+          stats::summarize(store.metric("meta_seconds", where)).mean * 1000.0;
+      table.addRow({pattern, std::to_string(count),
+                    util::fmt(results[pattern][count].mean, 1),
+                    util::fmt(results[pattern][count].sd, 1),
+                    util::fmt(meta[pattern][count], 1)});
+    }
+  }
+  bench::printFigure(
+      "Extension: N-1 vs N-N (file per process), Scenario 2, 32 nodes x 8 ppn", table);
+  store.writeCsv(bench::resultsPath("ext_nn.csv"));
+
+  core::CheckList checks("Extension -- N-N access pattern");
+  // N-1 with stripe 1 uses one target; N-N with stripe 1 spreads 256 files
+  // over all eight: the count-1 gap is the headline difference.
+  checks.expectGreater("N-N count 1 crushes N-1 count 1",
+                       results["N-N"][1].mean, 2.5 * results["N-1"][1].mean);
+  // N-N is insensitive to the per-file stripe count (coverage is already
+  // full at count 1)...
+  checks.expectNear("N-N count 8 ~= N-N count 1", results["N-N"][8].mean,
+                    results["N-N"][1].mean, 0.15);
+  // ...while N-1 depends on it strongly (Fig. 6b).
+  checks.expectGreater("N-1 count 8 >> N-1 count 1", results["N-1"][8].mean,
+                       3.0 * results["N-1"][1].mean);
+  // At full coverage both patterns converge.
+  checks.expectNear("N-1 count 8 ~= N-N count 8", results["N-1"][8].mean,
+                    results["N-N"][8].mean, 0.15);
+  // N-N pays more metadata (256 creates vs 1).
+  checks.expectGreater("N-N metadata cost > N-1", meta["N-N"][4], meta["N-1"][4]);
+  return bench::finish(checks);
+}

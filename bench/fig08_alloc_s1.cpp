@@ -1,0 +1,99 @@
+// Figure 8: Scenario-1 box-plots of bandwidth grouped by the (min,max) OST
+// allocation -- the re-binning of Fig. 6a's clouds that exposes their cause.
+//
+// Paper findings: performance increases with the min/max balance ratio; the
+// absolute number of targets is irrelevant ((0,1) == (0,2) == (0,3), (1,2)
+// == (2,4)); balanced placements ((1,1), (3,3), (4,4)) reach the peak; the
+// worst case is a single-server placement.
+#include <map>
+
+#include "bench/common.hpp"
+#include "core/analyzer.hpp"
+#include "stats/plot.hpp"
+
+using namespace beesim;
+
+int main() {
+  // Cover every allocation class by pinning placements explicitly (the
+  // round-robin chooser alone never produces (2,2) or (0,4), as the paper
+  // notes), 100 repetitions each under the usual protocol noise.
+  const std::map<std::string, std::vector<std::size_t>> placements{
+      {"(0,1)", {4}},
+      {"(0,2)", {4, 5}},
+      {"(0,3)", {4, 5, 6}},
+      {"(0,4)", {4, 5, 6, 7}},
+      {"(1,1)", {0, 4}},
+      {"(1,2)", {0, 4, 5}},
+      {"(1,3)", {0, 4, 5, 6}},
+      {"(2,2)", {0, 1, 4, 5}},
+      {"(2,3)", {0, 1, 4, 5, 6}},
+      {"(2,4)", {0, 1, 4, 5, 6, 7}},
+      {"(3,3)", {0, 1, 2, 4, 5, 6}},
+      {"(3,4)", {0, 1, 2, 4, 5, 6, 7}},
+      {"(4,4)", {0, 1, 2, 3, 4, 5, 6, 7}},
+  };
+
+  std::vector<harness::CampaignEntry> entries;
+  for (const auto& [key, targets] : placements) {
+    harness::CampaignEntry entry;
+    entry.config = bench::plafrimRun(topo::Scenario::kEthernet10G, 8, 8,
+                                     static_cast<unsigned>(targets.size()));
+    entry.config.pinnedTargets = targets;
+    entry.factors["alloc"] = key;
+    entries.push_back(std::move(entry));
+  }
+  const auto cluster = entries.front().config.cluster;
+  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 81);
+
+  core::AllocationAnalyzer analyzer;
+  for (const auto& [key, targets] : placements) {
+    for (const auto bw : store.metric("bandwidth_mibps", {{"alloc", key}})) {
+      analyzer.add(core::Allocation(targets, cluster), bw);
+    }
+  }
+
+  util::TableWriter table({"alloc", "min/max", "q1", "median", "q3", "whiskers", "mean"});
+  std::map<std::string, double> means;
+  for (const auto& group : analyzer.groups()) {
+    means[group.key] = group.summary.mean;
+    table.addRow({group.key, util::fmt(group.balanceRatio, 2), util::fmt(group.box.q1, 0),
+                  util::fmt(group.box.median, 0), util::fmt(group.box.q3, 0),
+                  util::fmt(group.box.whiskerLow, 0) + ".." +
+                      util::fmt(group.box.whiskerHigh, 0),
+                  util::fmt(group.summary.mean, 1)});
+  }
+  bench::printFigure("Fig. 8: Scenario 1 bandwidth by OST allocation (8 nodes x 8 ppn)",
+                     table);
+  {
+    std::vector<stats::LabelledBox> boxRows;
+    for (const auto& group : analyzer.groups()) {
+      boxRows.push_back(stats::LabelledBox{group.key, group.box});
+    }
+    stats::PlotOptions plot;
+    plot.xLabel = "MiB/s ([=M=] box, |--| whiskers, o outliers)";
+    std::printf("%s\n", stats::renderBoxes(boxRows, plot).c_str());
+  }
+  store.writeCsv(bench::resultsPath("fig08.csv"));
+
+  core::CheckList checks("Fig. 8 -- allocation vs bandwidth, Scenario 1");
+  // Target count does not matter, only the split:
+  checks.expectNear("(0,1) == (0,2)", means["(0,1)"], means["(0,2)"], 0.05);
+  checks.expectNear("(0,2) == (0,4)", means["(0,2)"], means["(0,4)"], 0.05);
+  checks.expectNear("(1,2) == (2,4)", means["(1,2)"], means["(2,4)"], 0.05);
+  checks.expectNear("(1,1) == (3,3) == peak", means["(1,1)"], means["(3,3)"], 0.05);
+  checks.expectNear("(2,2) == (4,4)", means["(2,2)"], means["(4,4)"], 0.05);
+  // Performance increases with the balance ratio:
+  checks.expectGreater("(1,3) > (0,3)", means["(1,3)"], means["(0,3)"]);
+  checks.expectGreater("(1,2) > (1,3)", means["(1,2)"], means["(1,3)"]);
+  checks.expectGreater("(2,3) > (1,2)", means["(2,3)"], means["(1,2)"]);
+  checks.expectGreater("(1,1) > (2,3)", means["(1,1)"], means["(2,3)"]);
+  checks.expect("balance-bandwidth correlation > 0.9",
+                analyzer.balanceBandwidthCorrelation() > 0.9,
+                util::fmt(analyzer.balanceBandwidthCorrelation(), 3));
+  // Paper's headline numbers:
+  checks.expectNear("single-server floor ~1100 MiB/s", means["(0,4)"], 1100.0, 0.08);
+  checks.expectNear("balanced peak ~2200 MiB/s", means["(4,4)"], 2200.0, 0.08);
+  checks.expectRatio("(3,3) beats (1,3) by ~49% (paper Sec. IV-C1)", means["(3,3)"],
+                     means["(1,3)"], 1.49, 0.08);
+  return bench::finish(checks);
+}

@@ -1,0 +1,83 @@
+// Figure 11: Scenario-2 mean bandwidth vs compute nodes for several stripe
+// counts.
+//
+// Paper finding (Lesson #6): more OSTs unlock a higher peak, but that peak
+// needs more compute nodes -- stripe 1 saturates with few nodes, stripe 8
+// keeps climbing to 32.
+#include <map>
+
+#include "bench/common.hpp"
+#include "stats/plot.hpp"
+#include "stats/summary.hpp"
+
+using namespace beesim;
+
+int main() {
+  const std::vector<std::size_t> nodeCounts{1, 2, 4, 8, 16, 32};
+  const std::vector<unsigned> stripeCounts{1, 2, 4, 8};
+
+  std::vector<harness::CampaignEntry> entries;
+  for (const auto nodes : nodeCounts) {
+    for (const auto count : stripeCounts) {
+      harness::CampaignEntry entry;
+      entry.config = bench::plafrimRun(topo::Scenario::kOmniPath100G, nodes, 8, count);
+      entry.factors["nodes"] = std::to_string(nodes);
+      entry.factors["count"] = std::to_string(count);
+      entries.push_back(std::move(entry));
+    }
+  }
+  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 111);
+
+  std::map<unsigned, std::map<std::size_t, double>> mean;
+  util::TableWriter table({"nodes", "stripe 1", "stripe 2", "stripe 4", "stripe 8"});
+  for (const auto nodes : nodeCounts) {
+    std::vector<std::string> row{std::to_string(nodes)};
+    for (const auto count : stripeCounts) {
+      const auto values = store.metric("bandwidth_mibps",
+                                       {{"nodes", std::to_string(nodes)},
+                                        {"count", std::to_string(count)}});
+      mean[count][nodes] = stats::summarize(values).mean;
+      row.push_back(util::fmt(mean[count][nodes], 1));
+    }
+    table.addRow(std::move(row));
+  }
+  bench::printFigure(
+      "Fig. 11: Scenario 2 mean bandwidth vs nodes, per stripe count (MiB/s)", table);
+  {
+    std::vector<stats::Series> series;
+    for (const auto count : stripeCounts) {
+      stats::Series s;
+      s.name = "stripe " + std::to_string(count);
+      for (const auto nodes : nodeCounts) {
+        s.x.push_back(static_cast<double>(nodes));
+        s.y.push_back(mean[count][nodes]);
+      }
+      series.push_back(std::move(s));
+    }
+    stats::PlotOptions plot;
+    plot.xLabel = "compute nodes";
+    plot.yLabel = "MiB/s";
+    std::printf("%s\n", stats::renderLines(series, plot).c_str());
+  }
+  store.writeCsv(bench::resultsPath("fig11.csv"));
+
+  core::CheckList checks("Fig. 11 -- node requirement grows with stripe count");
+  // Higher counts unlock higher peaks (at 32 nodes).
+  checks.expectGreater("peak(stripe 2) > peak(stripe 1)", mean[2][32], mean[1][32]);
+  checks.expectGreater("peak(stripe 4) > peak(stripe 2)", mean[4][32], mean[2][32]);
+  checks.expectGreater("peak(stripe 8) > peak(stripe 4)", mean[8][32], mean[4][32]);
+  // Saturation point moves right with the count: relative growth in the last
+  // node-doubling (16 -> 32) increases with the stripe count.
+  const double grow1 = mean[1][32] / mean[1][16];
+  const double grow4 = mean[4][32] / mean[4][16];
+  const double grow8 = mean[8][32] / mean[8][16];
+  checks.expectNear("stripe 1 is saturated by 16 nodes", grow1, 1.0, 0.06);
+  checks.expectGreater("stripe 4 still grows 16 -> 32 more than stripe 1", grow4,
+                       grow1 + 0.05);
+  checks.expectGreater("stripe 8 grows 16 -> 32 more than stripe 4", grow8, grow4);
+  // At one node the wide counts collapse onto the client-stack ceiling.
+  checks.expectNear("1 node: stripe 8 ~= stripe 4 (client-bound)", mean[8][1], mean[4][1],
+                    0.25);
+  checks.expectGreater("1 node: far below the 32-node peak", mean[8][32], 3.0 * mean[8][1]);
+  return bench::finish(checks);
+}

@@ -1,0 +1,107 @@
+// Figure 12: concurrent applications (2, 3, 4) with different numbers of
+// OSTs per application, compared against single-application executions with
+// the equivalent total resources.
+//
+// Paper findings: the aggregate bandwidth (Equation 1) of k concurrent
+// applications matches -- or slightly exceeds -- a single application using
+// k times the nodes; individual per-app bandwidth drops because the total is
+// *shared*, not because targets are shared (Section IV-D).
+#include <map>
+
+#include "bench/common.hpp"
+#include "stats/summary.hpp"
+
+using namespace beesim;
+using namespace beesim::util::literals;
+
+namespace {
+
+/// k concurrent apps, 8 nodes x 8 ppn each, `count` OSTs per app (pinned so
+/// target overlap is controlled); each app writes 32 GiB.
+harness::ConcurrentResult runApps(int k, unsigned count, std::uint64_t seed) {
+  harness::RunConfig base;
+  base.cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G,
+                                   static_cast<std::size_t>(k) * 8);
+  base.fs.defaultStripe.stripeCount = count;
+
+  std::vector<harness::AppSpec> apps(static_cast<std::size_t>(k));
+  for (int a = 0; a < k; ++a) {
+    auto& app = apps[static_cast<std::size_t>(a)];
+    app.job.ppn = 8;
+    for (std::size_t n = 0; n < 8; ++n) {
+      app.job.nodeIds.push_back(static_cast<std::size_t>(a) * 8 + n);
+    }
+    app.ior.blockSize = ior::blockSizeForTotal(32_GiB, app.job.ranks());
+    // Pinned allocations mirroring the paper's round-robin outcomes:
+    // count 2 -> disjoint balanced pairs (apps never share);
+    // count 4 -> the two RR (1,3) windows, so apps 0/2 and 1/3 share;
+    // count 8 -> everyone shares all targets.
+    if (count == 2) {
+      const std::size_t i = static_cast<std::size_t>(a) % 4;
+      app.pinnedTargets = std::vector<std::size_t>{i, 4 + i};
+    } else if (count == 4) {
+      app.pinnedTargets = (a % 2 == 0) ? std::vector<std::size_t>{0, 4, 5, 6}
+                                       : std::vector<std::size_t>{7, 1, 2, 3};
+    } else {
+      app.pinnedTargets = std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7};
+    }
+  }
+  return harness::runConcurrent(base, apps, seed);
+}
+
+/// Single application with the equivalent total resources: k*8 nodes and
+/// min(8, k*count) OSTs, writing k*32 GiB.
+double runSingleBaseline(int k, unsigned count, std::uint64_t seed) {
+  harness::RunConfig config;
+  config.cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G,
+                                     static_cast<std::size_t>(k) * 8);
+  const unsigned totalCount = std::min(8u, static_cast<unsigned>(k) * count);
+  config.fs.defaultStripe.stripeCount = totalCount;
+  config.fs.chooser = beegfs::ChooserKind::kBalanced;
+  config.job = ior::IorJob::onFirstNodes(static_cast<std::size_t>(k) * 8, 8);
+  config.ior.blockSize =
+      ior::blockSizeForTotal(static_cast<util::Bytes>(k) * 32_GiB, config.job.ranks());
+  return harness::runOnce(config, seed).ior.bandwidth;
+}
+
+}  // namespace
+
+int main() {
+  const auto reps = bench::repetitions();
+  core::CheckList checks("Fig. 12 -- concurrent applications");
+
+  for (const int k : {2, 3, 4}) {
+    util::TableWriter table({"OSTs/app", "per-app mean MiB/s", "aggregate (Eq.1)",
+                             "single-app baseline", "agg/baseline", "shared targets"});
+    for (const unsigned count : {2u, 4u, 8u}) {
+      std::vector<double> aggregates;
+      std::vector<double> perApp;
+      std::vector<double> baselines;
+      double sharedTargets = 0.0;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const auto seed = 12000 + 1000 * static_cast<std::uint64_t>(k) + 100 * count + rep;
+        const auto result = runApps(k, count, seed);
+        aggregates.push_back(result.aggregateBandwidth);
+        for (const auto& app : result.apps) perApp.push_back(app.bandwidth);
+        sharedTargets += static_cast<double>(result.sharedTargets);
+        baselines.push_back(runSingleBaseline(k, count, seed + 7));
+      }
+      const double aggregate = stats::summarize(aggregates).mean;
+      const double baseline = stats::summarize(baselines).mean;
+      const double app = stats::summarize(perApp).mean;
+      table.addRow({std::to_string(count), util::fmt(app, 1), util::fmt(aggregate, 1),
+                    util::fmt(baseline, 1), util::fmt(aggregate / baseline, 3),
+                    util::fmt(sharedTargets / static_cast<double>(reps), 1)});
+
+      const std::string tag =
+          " [" + std::to_string(k) + " apps x " + std::to_string(count) + " OSTs]";
+      // Aggregate tracks the single-application baseline.
+      checks.expectNear("aggregate ~= single-app baseline" + tag, aggregate, baseline,
+                        0.15);
+      // Individual applications run slower than the aggregate (they share).
+      checks.expectGreater("per-app < aggregate" + tag, aggregate, 1.2 * app);
+    }
+    bench::printFigure("Fig. 12 (" + std::to_string(k) + " concurrent applications)", table);
+  }
+  return bench::finish(checks);
+}

@@ -1,0 +1,81 @@
+// Micro-benchmarks of the simulator core (google-benchmark): the max-min
+// solver at various flow populations, the event queue, and one full IOR run
+// per scenario -- the numbers that bound how fast campaigns execute.
+#include <benchmark/benchmark.h>
+
+#include "beegfs/deployment.hpp"
+#include "beegfs/filesystem.hpp"
+#include "harness/run.hpp"
+#include "ior/runner.hpp"
+#include "sim/maxmin.hpp"
+#include "sim/simulator.hpp"
+#include "topology/plafrim.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace beesim;
+using namespace beesim::util::literals;
+
+void BM_MaxMinSolver(benchmark::State& state) {
+  const auto nFlows = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<sim::SolverResource> resources(24);
+  for (auto& r : resources) r.capacity = rng.uniform(100.0, 2000.0);
+  std::vector<sim::SolverFlow> flows(nFlows);
+  for (auto& f : flows) {
+    for (const auto r : rng.sampleWithoutReplacement(resources.size(), 5)) {
+      f.resources.push_back(static_cast<std::uint32_t>(r));
+    }
+    f.weight = rng.uniform(0.5, 4.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::solveMaxMin(resources, flows));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nFlows));
+}
+BENCHMARK(BM_MaxMinSolver)->Arg(64)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_EventQueue(benchmark::State& state) {
+  const auto nEvents = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (std::size_t i = 0; i < nEvents; ++i) {
+      simulator.schedule(rng.uniform(0.0, 1000.0), [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nEvents));
+}
+BENCHMARK(BM_EventQueue)->Arg(1024)->Arg(16384);
+
+void BM_FullIorRun(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    harness::RunConfig config;
+    config.cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G, nodes);
+    config.fs.defaultStripe.stripeCount = 8;
+    config.job = ior::IorJob::onFirstNodes(nodes, 8);
+    config.ior.blockSize = ior::blockSizeForTotal(32_GiB, config.job.ranks());
+    benchmark::DoNotOptimize(harness::runOnce(config, 42));
+  }
+}
+BENCHMARK(BM_FullIorRun)->Arg(4)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_StripeByteMath(benchmark::State& state) {
+  const beegfs::StripePattern pattern({0, 1, 2, 3, 4, 5, 6, 7}, 512_KiB);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto offset = static_cast<util::Bytes>(rng.uniformInt(0, 1LL << 35));
+    benchmark::DoNotOptimize(pattern.bytesPerTarget(offset, 4_GiB));
+  }
+}
+BENCHMARK(BM_StripeByteMath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Baseline reproduction: why Chowdhury et al. (ICPP'19) concluded that the
+// stripe count barely matters.
+//
+// Their evaluation ran from a *single compute node* on a Catalyst-class
+// system (24 OSTs on 12 servers).  The paper's Lesson #1 argues the client
+// side was the bottleneck there, hiding the target-count effect.  This
+// bench measures stripe counts 1..24 from 1 node (their methodology) and
+// from 8 nodes (the paper's), on the Catalyst-like topology.
+#include <map>
+
+#include "bench/common.hpp"
+#include "stats/summary.hpp"
+#include "topology/catalyst.hpp"
+
+using namespace beesim;
+using namespace beesim::util::literals;
+
+int main() {
+  const std::vector<unsigned> counts{1, 2, 4, 8, 16, 24};
+  core::CheckList checks("Chowdhury baseline -- single node hides the stripe count");
+  std::map<std::size_t, std::map<unsigned, double>> mean;
+
+  for (const std::size_t nodes : {std::size_t{1}, std::size_t{8}}) {
+    std::vector<harness::CampaignEntry> entries;
+    for (const auto count : counts) {
+      harness::CampaignEntry entry;
+      entry.config.cluster = topo::makeCatalystLike(nodes);
+      entry.config.fs.defaultStripe.stripeCount = count;
+      entry.config.fs.chooser = beegfs::ChooserKind::kBalanced;
+      entry.config.job = ior::IorJob::onFirstNodes(nodes, 8);
+      entry.config.ior.blockSize =
+          ior::blockSizeForTotal(8_GiB, entry.config.job.ranks());
+      entry.factors["count"] = std::to_string(count);
+      entries.push_back(std::move(entry));
+    }
+    const auto store = harness::executeCampaign(entries, bench::protocolOptions(),
+                                                nodes == 1 ? 141 : 142);
+
+    util::TableWriter table({"stripe count", "mean MiB/s", "sd", "vs count 1"});
+    for (const auto count : counts) {
+      const auto s = stats::summarize(
+          store.metric("bandwidth_mibps", {{"count", std::to_string(count)}}));
+      mean[nodes][count] = s.mean;
+      table.addRow({std::to_string(count), util::fmt(s.mean, 1), util::fmt(s.sd, 1),
+                    util::fmt(s.mean / mean[nodes][1], 2) + "x"});
+    }
+    bench::printFigure("Catalyst-like system, " + std::to_string(nodes) +
+                           " compute node(s), 8 ppn",
+                       table);
+    store.writeCsv(bench::resultsPath("tab_chowdhury_" + std::to_string(nodes) + "n.csv"));
+  }
+
+  // Their observation: from one node, all counts look the same.
+  for (const auto count : counts) {
+    checks.expectNear("1 node: count " + std::to_string(count) + " ~= count 1",
+                      mean[1][count], mean[1][1], 0.10);
+  }
+  // The paper's counter: with enough nodes the count effect appears.
+  checks.expectGreater("8 nodes: count 8 >> count 1", mean[8][8], 1.5 * mean[8][1]);
+  checks.expectGreater("8 nodes: count 24 > count 4", mean[8][24], mean[8][4]);
+  return bench::finish(checks);
+}

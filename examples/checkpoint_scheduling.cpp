@@ -1,0 +1,92 @@
+// Checkpoint scheduling: when two periodic applications share the PFS, how
+// much does the *phase* between their bursts matter?
+//
+//   $ ./checkpoint_scheduling [offset-seconds] [repetitions]
+//
+// Two 8-node applications compute for 30 s and then write a 16 GiB
+// checkpoint, four times each, on Scenario-2 PlaFRIM.  Offset 0 collides
+// every burst; a large enough offset dodges them entirely.  This is the
+// interference question of Section IV-D asked for bursty applications (the
+// authors' periodic-application scheduling line of work, ref. [14]).
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/checkpoint.hpp"
+#include "beegfs/deployment.hpp"
+#include "beegfs/filesystem.hpp"
+#include "stats/summary.hpp"
+#include "topology/plafrim.hpp"
+#include "util/table.hpp"
+
+using namespace beesim;
+using namespace beesim::util::literals;
+
+int main(int argc, char** argv) {
+  const util::Seconds offset = argc > 1 ? std::atof(argv[1]) : 0.0;
+  const std::size_t repetitions =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 10;
+
+  std::vector<double> burstsA;
+  std::vector<double> makespansA;
+  std::vector<double> burstsSolo;
+
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    apps::CheckpointSpec specA;
+    specA.job = ior::IorJob::onFirstNodes(8, 8);
+    specA.checkpointBytes = 16_GiB;
+    specA.computePhase = 30.0;
+    specA.iterations = 4;
+
+    // Solo baseline.
+    {
+      sim::FluidSimulator fluid;
+      beegfs::Deployment deployment(fluid, topo::makePlafrim(topo::Scenario::kOmniPath100G, 8),
+                                    beegfs::BeegfsParams{}, util::Rng(500 + rep));
+      beegfs::FileSystem fs(deployment, util::Rng(600 + rep));
+      const auto solo = apps::runCheckpointApp(fs, specA);
+      for (const auto d : solo.checkpointDurations) burstsSolo.push_back(d);
+    }
+
+    // Pair with the requested offset.
+    sim::FluidSimulator fluid;
+    beegfs::Deployment deployment(fluid, topo::makePlafrim(topo::Scenario::kOmniPath100G, 16),
+                                  beegfs::BeegfsParams{}, util::Rng(500 + rep));
+    beegfs::FileSystem fs(deployment, util::Rng(600 + rep));
+    auto specB = specA;
+    specB.job.nodeIds.clear();
+    for (std::size_t n = 8; n < 16; ++n) specB.job.nodeIds.push_back(n);
+    specB.filePrefix = "/beegfs/ckptB";
+
+    apps::CheckpointResult resultA;
+    bool doneA = false;
+    bool doneB = false;
+    apps::launchCheckpointApp(fs, specA, 0.0, [&](const apps::CheckpointResult& r) {
+      resultA = r;
+      doneA = true;
+    });
+    apps::launchCheckpointApp(fs, specB, offset,
+                              [&](const apps::CheckpointResult&) { doneB = true; });
+    fluid.run();
+    if (!doneA || !doneB) {
+      std::fprintf(stderr, "pair did not complete\n");
+      return 1;
+    }
+    for (const auto d : resultA.checkpointDurations) burstsA.push_back(d);
+    makespansA.push_back(resultA.makespan);
+  }
+
+  const auto solo = stats::summarize(burstsSolo);
+  const auto paired = stats::summarize(burstsA);
+  util::TableWriter table({"metric", "solo", "with competitor"});
+  table.addRow({"mean checkpoint (s)", util::fmt(solo.mean, 2), util::fmt(paired.mean, 2)});
+  table.addRow({"worst checkpoint (s)", util::fmt(solo.max, 2), util::fmt(paired.max, 2)});
+  table.addRow({"app A makespan (s)", "-", util::fmt(stats::summarize(makespansA).mean, 1)});
+  std::printf("offset between the applications: %.1f s, %zu repetitions\n\n", offset,
+              repetitions);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("checkpoint slowdown vs solo: %.2fx\n", paired.mean / solo.mean);
+  std::printf("\nTry offsets 0 (collide) vs 10 (dodge): bursts take ~1.7x longer when\n"
+              "synchronized, yet the makespan barely moves -- the compute phases\n"
+              "dominate.  (Lesson #7: it is shared *bandwidth*, not shared targets.)\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: boot a simulated PlaFRIM (Scenario 2), run one IOR-style
+// write, and print what the paper's tooling would report.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface in ~40 lines: topology factory,
+// deployment, file system, IOR runner, allocation analysis.
+#include <cstdio>
+
+#include "beegfs/deployment.hpp"
+#include "beegfs/filesystem.hpp"
+#include "core/allocation.hpp"
+#include "ior/runner.hpp"
+#include "sim/fluid.hpp"
+#include "topology/plafrim.hpp"
+#include "util/units.hpp"
+
+using namespace beesim;
+using namespace beesim::util::literals;
+
+int main() {
+  // 1. Describe the hardware: PlaFRIM with 16 Bora nodes on Omni-Path
+  //    (Scenario 2: storage slower than network).
+  const auto cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G, 16);
+
+  // 2. Boot a BeeGFS deployment on it (PlaFRIM production defaults: stripe
+  //    count 4, 512 KiB chunks, round-robin target choice).
+  sim::FluidSimulator fluid;
+  beegfs::Deployment deployment(fluid, cluster, beegfs::BeegfsParams{}, util::Rng(7));
+  beegfs::FileSystem fs(deployment, util::Rng(8));
+
+  // 3. Run IOR: 16 nodes x 8 processes, shared file, 32 GiB total, 1 MiB
+  //    transfers (the paper's configuration).
+  const auto job = ior::IorJob::onFirstNodes(16, 8);
+  ior::IorOptions options;
+  options.blockSize = ior::blockSizeForTotal(32_GiB, job.ranks());
+  const auto result = ior::runIor(fs, job, options);
+
+  // 4. Report.
+  const core::Allocation allocation(result.targetsUsed, cluster);
+  std::printf("cluster        : %s\n", topo::scenarioLabel(topo::Scenario::kOmniPath100G));
+  std::printf("workload       : %s\n", options.describe().c_str());
+  std::printf("ranks          : %d on %zu nodes\n", job.ranks(), job.nodeIds.size());
+  std::printf("wrote          : %s in %s (+%s metadata)\n",
+              util::formatBytes(result.totalBytes).c_str(),
+              util::formatSeconds(result.end - result.start).c_str(),
+              util::formatSeconds(result.metaTime).c_str());
+  std::printf("bandwidth      : %s\n", util::formatBandwidth(result.bandwidth).c_str());
+  std::printf("OST allocation : %s over hosts (balance %.2f)\n", allocation.key().c_str(),
+              allocation.balanceRatio());
+  std::printf("targets        : ");
+  for (const auto t : result.targetsUsed) std::printf("%d ", cluster.beegfsTargetNum(t));
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Periodic checkpointing application model.
+//
+// The paper's authors study I/O scheduling for periodic applications (the
+// DASH project; Gainaru/Pallez, ACM TOPC'19 is cited as [14]): HPC codes
+// alternate compute phases with bursty checkpoint writes.  This module adds
+// that application class on top of the simulated file system, so the
+// concurrent-application questions of Section IV-D can be asked for the
+// realistic bursty pattern, not just for IOR's continuous stream:
+// do two checkpointing applications hurt each other, and does the answer
+// depend on whether their bursts collide in time?
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "beegfs/filesystem.hpp"
+#include "ior/runner.hpp"
+
+namespace beesim::apps {
+
+struct CheckpointSpec {
+  /// Placement (nodes + ppn), as for IOR.
+  ior::IorJob job;
+  /// Total bytes written per checkpoint (N-1 shared file, one per phase).
+  util::Bytes checkpointBytes = 8ULL << 30;
+  /// Compute time between checkpoints.
+  util::Seconds computePhase = 30.0;
+  /// Number of compute+checkpoint iterations.
+  int iterations = 5;
+  /// File name prefix (each checkpoint writes "<prefix>.<i>").
+  std::string filePrefix = "/beegfs/ckpt";
+  /// Pin every checkpoint to these targets (empty: the chooser decides per
+  /// checkpoint file, as BeeGFS would).
+  std::vector<std::size_t> pinnedTargets;
+};
+
+struct CheckpointResult {
+  /// Wall time of each checkpoint write (virtual seconds).
+  std::vector<util::Seconds> checkpointDurations;
+  /// First compute phase start -> last checkpoint end.
+  util::Seconds makespan = 0.0;
+  /// Sum of checkpoint durations.
+  util::Seconds totalIoTime = 0.0;
+  /// totalIoTime / makespan.
+  double ioFraction = 0.0;
+  /// Mean write bandwidth across checkpoints.
+  util::MiBps meanCheckpointBandwidth = 0.0;
+};
+
+/// Launch asynchronously at `startAt`; `done` fires after the last
+/// checkpoint completes.  Multiple apps may run on one file system.
+void launchCheckpointApp(beegfs::FileSystem& fs, const CheckpointSpec& spec,
+                         util::Seconds startAt,
+                         std::function<void(const CheckpointResult&)> done);
+
+/// Convenience: run a single application to completion.
+CheckpointResult runCheckpointApp(beegfs::FileSystem& fs, const CheckpointSpec& spec);
+
+}  // namespace beesim::apps

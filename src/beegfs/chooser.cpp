@@ -1,0 +1,173 @@
+#include "beegfs/chooser.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace beesim::beegfs {
+
+const char* chooserName(ChooserKind kind) {
+  switch (kind) {
+    case ChooserKind::kRoundRobin: return "round-robin";
+    case ChooserKind::kRandom: return "random";
+    case ChooserKind::kRoundRobinInterleaved: return "round-robin-interleaved";
+    case ChooserKind::kBalanced: return "balanced";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void checkCount(std::size_t count, const topo::ClusterConfig& cluster) {
+  BEESIM_ASSERT(count >= 1, "stripe count must be >= 1");
+  BEESIM_ASSERT(count <= cluster.targetCount(),
+                "stripe count exceeds the number of targets in the deployment");
+}
+
+}  // namespace
+
+RoundRobinChooser::RoundRobinChooser(std::vector<std::size_t> order, double raceProbability,
+                                     ChooserKind kind)
+    : order_(std::move(order)), raceProbability_(raceProbability), kind_(kind) {
+  BEESIM_ASSERT(!order_.empty(), "round-robin order must not be empty");
+  BEESIM_ASSERT(raceProbability_ >= 0.0 && raceProbability_ <= 1.0,
+                "race probability must be in [0, 1]");
+}
+
+void RoundRobinChooser::setPointer(std::size_t p) { pointer_ = p % order_.size(); }
+
+void RoundRobinChooser::randomizePhase(util::Rng& rng, std::size_t stride) {
+  BEESIM_ASSERT(stride >= 1, "phase stride must be >= 1");
+  const std::size_t phases = (order_.size() + stride - 1) / stride;
+  pointer_ = (stride * static_cast<std::size_t>(
+                           rng.uniformInt(0, static_cast<std::int64_t>(phases) - 1))) %
+             order_.size();
+}
+
+std::vector<std::size_t> RoundRobinChooser::choose(std::size_t count,
+                                                   const topo::ClusterConfig& cluster,
+                                                   util::Rng& rng) {
+  checkCount(count, cluster);
+  BEESIM_ASSERT(order_.size() == cluster.targetCount(),
+                "round-robin order does not match the cluster's target count");
+  std::vector<std::size_t> picks;
+  picks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    picks.push_back(order_[(pointer_ + i) % order_.size()]);
+  }
+  // The create race: with probability raceProbability_ the pointer is not
+  // advanced, so the next create sees the same window.
+  if (!rng.bernoulli(raceProbability_)) {
+    pointer_ = (pointer_ + count) % order_.size();
+  }
+  return picks;
+}
+
+std::vector<std::size_t> RandomChooser::choose(std::size_t count,
+                                               const topo::ClusterConfig& cluster,
+                                               util::Rng& rng) {
+  checkCount(count, cluster);
+  return rng.sampleWithoutReplacement(cluster.targetCount(), count);
+}
+
+std::vector<std::size_t> BalancedChooser::choose(std::size_t count,
+                                                 const topo::ClusterConfig& cluster,
+                                                 util::Rng& rng) {
+  checkCount(count, cluster);
+  const std::size_t hosts = cluster.hosts.size();
+
+  // Distribute `count` across hosts as evenly as their capacities allow:
+  // start with floor(count / hosts) everywhere, then hand out the remainder
+  // to randomly-chosen hosts (respecting per-host target counts).
+  std::vector<std::size_t> perHost(hosts, 0);
+  std::size_t remaining = count;
+  // Repeatedly add one target to every host that still has room, a "level"
+  // at a time, so uneven per-host capacities are handled correctly.
+  while (remaining > 0) {
+    std::vector<std::size_t> eligible;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      if (perHost[h] < cluster.hosts[h].targets.size()) eligible.push_back(h);
+    }
+    BEESIM_ASSERT(!eligible.empty(), "balanced chooser ran out of targets");
+    if (remaining >= eligible.size()) {
+      for (const auto h : eligible) ++perHost[h];
+      remaining -= eligible.size();
+    } else {
+      // Remainder level: random subset of eligible hosts gets one extra.
+      auto lucky = rng.sampleWithoutReplacement(eligible.size(), remaining);
+      for (const auto i : lucky) ++perHost[eligible[i]];
+      remaining = 0;
+    }
+  }
+
+  std::vector<std::size_t> picks;
+  picks.reserve(count);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    auto local = rng.sampleWithoutReplacement(cluster.hosts[h].targets.size(), perHost[h]);
+    for (const auto t : local) picks.push_back(cluster.flatTargetIndex(h, t));
+  }
+  // Shuffle so chunk 0 does not always live on host 0.
+  rng.shuffle(picks);
+  return picks;
+}
+
+std::vector<std::size_t> plafrimRoundRobinOrder(const topo::ClusterConfig& cluster) {
+  // Reconstructed from the paper: count-4 creates always produce the
+  // placements (101,201,202,203) or (204,102,103,104).  Both are windows of
+  // the cyclic order [101, 201, 202, 203, 204, 102, 103, 104]:
+  // first target of host 0, all targets of the remaining hosts, then the
+  // remaining targets of host 0.
+  BEESIM_ASSERT(!cluster.hosts.empty(), "cluster has no hosts");
+  std::vector<std::size_t> order;
+  order.reserve(cluster.targetCount());
+  order.push_back(cluster.flatTargetIndex(0, 0));
+  for (std::size_t h = 1; h < cluster.hosts.size(); ++h) {
+    for (std::size_t t = 0; t < cluster.hosts[h].targets.size(); ++t) {
+      order.push_back(cluster.flatTargetIndex(h, t));
+    }
+  }
+  for (std::size_t t = 1; t < cluster.hosts[0].targets.size(); ++t) {
+    order.push_back(cluster.flatTargetIndex(0, t));
+  }
+  return order;
+}
+
+std::vector<std::size_t> interleavedOrder(const topo::ClusterConfig& cluster) {
+  std::vector<std::size_t> order;
+  order.reserve(cluster.targetCount());
+  std::size_t level = 0;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
+      if (level < cluster.hosts[h].targets.size()) {
+        order.push_back(cluster.flatTargetIndex(h, level));
+        any = true;
+      }
+    }
+    ++level;
+  }
+  return order;
+}
+
+std::unique_ptr<TargetChooser> makeChooser(const BeegfsParams& params,
+                                           const topo::ClusterConfig& cluster) {
+  switch (params.chooser) {
+    case ChooserKind::kRoundRobin:
+      return std::make_unique<RoundRobinChooser>(plafrimRoundRobinOrder(cluster),
+                                                 params.rrCreateRaceProbability,
+                                                 ChooserKind::kRoundRobin);
+    case ChooserKind::kRoundRobinInterleaved:
+      return std::make_unique<RoundRobinChooser>(interleavedOrder(cluster),
+                                                 params.rrCreateRaceProbability,
+                                                 ChooserKind::kRoundRobinInterleaved);
+    case ChooserKind::kRandom:
+      return std::make_unique<RandomChooser>();
+    case ChooserKind::kBalanced:
+      return std::make_unique<BalancedChooser>();
+  }
+  BEESIM_ASSERT(false, "unknown chooser kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace beesim::beegfs

@@ -1,0 +1,219 @@
+#include "beegfs/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace beesim::beegfs {
+
+namespace {
+/// Usable capacity attributed to one PlaFRIM-class OST (131 TB over 8 OSTs).
+constexpr util::Bytes kDefaultTargetCapacity = 16 * util::kTiB;
+}  // namespace
+
+std::unique_ptr<storage::VariabilityModel> makeVariability(const topo::VariabilitySpec& spec) {
+  using Kind = topo::VariabilitySpec::Kind;
+  switch (spec.kind) {
+    case Kind::kNone:
+      return std::make_unique<storage::NoVariability>();
+    case Kind::kLogNormal:
+      return std::make_unique<storage::LogNormalVariability>(spec.sigma);
+    case Kind::kGaussian:
+      return std::make_unique<storage::GaussianVariability>(spec.sigma);
+    case Kind::kSlowPhase:
+      return std::make_unique<storage::SlowPhaseVariability>(spec.pEnter, spec.pLeave,
+                                                             spec.slowFactor, spec.sigma);
+  }
+  BEESIM_ASSERT(false, "unknown variability kind");
+  return nullptr;  // unreachable
+}
+
+Deployment::Deployment(sim::FluidSimulator& fluid, topo::ClusterConfig cluster,
+                       BeegfsParams params, util::Rng rng, EnvironmentFactors environment)
+    : fluid_(fluid),
+      cluster_(std::move(cluster)),
+      params_(params),
+      environment_(environment),
+      mgmt_(cluster_, kDefaultTargetCapacity),
+      meta_(params_.meta, rng.split()),
+      clientRng_(rng.split()) {
+  cluster_.validate();
+  BEESIM_ASSERT(environment_.network > 0.0, "network environment factor must be > 0");
+  BEESIM_ASSERT(environment_.storage > 0.0, "storage environment factor must be > 0");
+
+  fluid_.setResolveInterval(params_.resolveInterval);
+
+  // -- Backbone switch (optional). --------------------------------------
+  if (cluster_.network.backboneBandwidth > 0.0) {
+    backbone_ = fluid_.addResource(sim::ResourceSpec{
+        .name = cluster_.name + "/backbone",
+        .capacity = sim::constantCapacity(cluster_.network.backboneBandwidth *
+                                          environment_.network),
+    });
+  }
+
+  // -- Compute nodes: client stack + NIC. --------------------------------
+  nodeStates_.reserve(cluster_.nodes.size());
+  for (std::size_t n = 0; n < cluster_.nodes.size(); ++n) {
+    nodeStates_.push_back(std::make_unique<NodeState>());
+    NodeState* state = nodeStates_.back().get();
+    const auto cap = cluster_.nodes[n].clientThroughputCap;
+
+    clientRes_.push_back(fluid_.addResource(sim::ResourceSpec{
+        .name = cluster_.nodes[n].name + "/client",
+        .capacity =
+            [this, state, cap](const sim::ResourceLoad& load) {
+              return cap * clientContentionFactor(state->activeProcesses) *
+                     clientRampFactor(*state, load.time);
+            },
+    }));
+    nodeNicRes_.push_back(fluid_.addResource(sim::ResourceSpec{
+        .name = cluster_.nodes[n].name + "/nic",
+        .capacity = sim::constantCapacity(cluster_.nodes[n].nicBandwidth *
+                                          environment_.network),
+    }));
+  }
+
+  // -- Storage hosts: server NIC, OSS service cap, OSTs. ------------------
+  util::Rng deviceRng = rng.split();
+  for (std::size_t h = 0; h < cluster_.hosts.size(); ++h) {
+    const auto& host = cluster_.hosts[h];
+    // Server links fluctuate per noise epoch (transient congestion); see
+    // topo::NetworkCfg::serverLinkNoiseSigmaLog.
+    linkNoise_.push_back(std::make_unique<storage::NoisyDevice>(
+        std::make_shared<storage::ConstantDeviceModel>(host.nicBandwidth *
+                                                       environment_.network),
+        std::make_unique<storage::LogNormalVariability>(
+            cluster_.network.serverLinkNoiseSigmaLog),
+        deviceRng.split(), params_.noiseEpoch));
+    storage::NoisyDevice* link = linkNoise_.back().get();
+    serverNicRes_.push_back(fluid_.addResource(sim::ResourceSpec{
+        .name = host.name + "/nic",
+        .capacity =
+            [link](const sim::ResourceLoad& load) {
+              return link->currentRate(load.queueDepth, load.time);
+            },
+    }));
+    if (host.serviceCap > 0.0) {
+      ossRes_.push_back(fluid_.addResource(sim::ResourceSpec{
+          .name = host.name + "/oss",
+          .capacity = sim::constantCapacity(host.serviceCap * environment_.storage),
+      }));
+    } else {
+      ossRes_.push_back(std::nullopt);
+    }
+    for (std::size_t t = 0; t < host.targets.size(); ++t) {
+      const auto& targetCfg = host.targets[t];
+      devices_.push_back(std::make_unique<storage::NoisyDevice>(
+          std::make_shared<storage::HddRaidModel>(targetCfg.device),
+          makeVariability(targetCfg.variability), deviceRng.split(), params_.noiseEpoch));
+      storage::NoisyDevice* device = devices_.back().get();
+      const double storageFactor = environment_.storage;
+      ostRes_.push_back(fluid_.addResource(sim::ResourceSpec{
+          .name = targetCfg.name,
+          .capacity =
+              [device, storageFactor](const sim::ResourceLoad& load) {
+                return device->currentRate(load.queueDepth, load.time) * storageFactor;
+              },
+      }));
+    }
+  }
+}
+
+double Deployment::clientContentionFactor(int processes) const {
+  const auto& client = params_.client;
+  if (processes <= client.workerThreads) return 1.0;
+  const double excess = static_cast<double>(processes - client.workerThreads) /
+                        static_cast<double>(client.workerThreads);
+  return 1.0 / (1.0 + client.oversubscriptionPenalty * excess);
+}
+
+double Deployment::clientRampFactor(const NodeState& state, util::Seconds now) const {
+  if (state.jobStart < 0.0) return 1.0;
+  const auto& client = params_.client;
+  if (client.rampTau <= 0.0) return 1.0;
+  const double dt = std::max(0.0, now - state.jobStart);
+  const double r0 =
+      std::clamp(client.rampInitialFraction * state.rampR0Factor, 0.05, 0.95);
+  return 1.0 - (1.0 - r0) * std::exp(-dt / (client.rampTau * state.rampTauFactor));
+}
+
+std::vector<sim::ResourceIndex> Deployment::writePath(std::size_t node,
+                                                      std::size_t flatTarget) const {
+  BEESIM_ASSERT(node < cluster_.nodes.size(), "unknown compute node");
+  BEESIM_ASSERT(flatTarget < ostRes_.size(), "unknown storage target");
+  const auto [host, indexInHost] = cluster_.targetLocation(flatTarget);
+  (void)indexInHost;
+
+  std::vector<sim::ResourceIndex> path;
+  path.reserve(6);
+  path.push_back(clientRes_[node]);
+  path.push_back(nodeNicRes_[node]);
+  if (backbone_) path.push_back(*backbone_);
+  path.push_back(serverNicRes_[host]);
+  if (ossRes_[host]) path.push_back(*ossRes_[host]);
+  path.push_back(ostRes_[flatTarget]);
+  return path;
+}
+
+void Deployment::setNodeProcesses(std::size_t node, int processes) {
+  BEESIM_ASSERT(node < nodeStates_.size(), "unknown compute node");
+  BEESIM_ASSERT(processes >= 0, "process count must be >= 0");
+  nodeStates_[node]->activeProcesses = processes;
+}
+
+void Deployment::markNodeJobStart(std::size_t node, util::Seconds at) {
+  BEESIM_ASSERT(node < nodeStates_.size(), "unknown compute node");
+  auto& state = *nodeStates_[node];
+  if (state.jobStart < 0.0) {
+    // First job on this node: sample its slow-start jitter (both the time
+    // constant and the starting fraction vary between connections).
+    state.rampTauFactor =
+        clientRng_.logNormalMedian(1.0, params_.client.rampJitterSigmaLog);
+    state.rampR0Factor =
+        clientRng_.logNormalMedian(1.0, params_.client.rampJitterSigmaLog);
+  }
+  if (state.jobStart < 0.0 || at < state.jobStart) state.jobStart = at;
+}
+
+void Deployment::resetNode(std::size_t node) {
+  BEESIM_ASSERT(node < nodeStates_.size(), "unknown compute node");
+  *nodeStates_[node] = NodeState{};
+}
+
+double Deployment::nodeEffectiveInflight(std::size_t node, int ppn) const {
+  BEESIM_ASSERT(node < nodeStates_.size(), "unknown compute node");
+  BEESIM_ASSERT(ppn >= 1, "ppn must be >= 1");
+  const auto& client = params_.client;
+  const double raw = std::min<double>(static_cast<double>(ppn) * client.inflightPerProcess,
+                                      static_cast<double>(client.workerThreads));
+  return raw * clientContentionFactor(ppn);
+}
+
+sim::ResourceIndex Deployment::clientResource(std::size_t node) const {
+  BEESIM_ASSERT(node < clientRes_.size(), "unknown compute node");
+  return clientRes_[node];
+}
+
+sim::ResourceIndex Deployment::nodeNicResource(std::size_t node) const {
+  BEESIM_ASSERT(node < nodeNicRes_.size(), "unknown compute node");
+  return nodeNicRes_[node];
+}
+
+sim::ResourceIndex Deployment::serverNicResource(std::size_t host) const {
+  BEESIM_ASSERT(host < serverNicRes_.size(), "unknown storage host");
+  return serverNicRes_[host];
+}
+
+std::optional<sim::ResourceIndex> Deployment::ossResource(std::size_t host) const {
+  BEESIM_ASSERT(host < ossRes_.size(), "unknown storage host");
+  return ossRes_[host];
+}
+
+sim::ResourceIndex Deployment::ostResource(std::size_t flatTarget) const {
+  BEESIM_ASSERT(flatTarget < ostRes_.size(), "unknown storage target");
+  return ostRes_[flatTarget];
+}
+
+}  // namespace beesim::beegfs

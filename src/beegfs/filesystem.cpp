@@ -1,0 +1,162 @@
+#include "beegfs/filesystem.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace beesim::beegfs {
+
+FileSystem::FileSystem(Deployment& deployment, util::Rng chooserRng)
+    : deployment_(deployment),
+      rng_(chooserRng),
+      chooser_(makeChooser(deployment.params(), deployment.cluster())) {
+  directories_["/"] = deployment.params().defaultStripe;
+  // A freshly-mounted client observes the round-robin pointer wherever the
+  // production system's create history left it (see params.hpp).
+  if (auto* rr = dynamic_cast<RoundRobinChooser*>(chooser_.get())) {
+    rr->randomizePhase(rng_, deployment.params().rrPointerPhaseStride);
+  }
+}
+
+void FileSystem::mkdir(const std::string& path, const StripeSettings& settings) {
+  BEESIM_ASSERT(!path.empty() && path.front() == '/', "directory paths must be absolute");
+  BEESIM_ASSERT(settings.stripeCount >= 1, "stripe count must be >= 1");
+  BEESIM_ASSERT(settings.chunkSize > 0, "chunk size must be > 0");
+  directories_[path] = settings;
+}
+
+StripeSettings FileSystem::settingsFor(const std::string& path) const {
+  // Deepest directory whose path is a prefix (on '/' boundaries) wins.
+  StripeSettings best = deployment_.params().defaultStripe;
+  std::size_t bestLen = 0;
+  for (const auto& [dir, settings] : directories_) {
+    const bool isPrefix =
+        dir == "/" ? true
+                   : util::startsWith(path, dir) &&
+                         (path.size() == dir.size() || path[dir.size()] == '/');
+    if (isPrefix && dir.size() >= bestLen) {
+      best = settings;
+      bestLen = dir.size();
+    }
+  }
+  return best;
+}
+
+FileHandle FileSystem::create(const std::string& path) {
+  BEESIM_ASSERT(!path.empty() && path.front() == '/', "file paths must be absolute");
+  const auto settings = settingsFor(path);
+  const auto& cluster = deployment_.cluster();
+
+  const auto online = deployment_.mgmt().onlineTargets();
+  if (online.empty()) throw util::ConfigError("no online storage targets");
+  const std::size_t count =
+      std::min<std::size_t>(settings.stripeCount, online.size());
+
+  std::vector<std::size_t> targets = chooser_->choose(
+      std::min<std::size_t>(count, cluster.targetCount()), cluster, rng_);
+
+  // Replace any offline picks with random online targets not already used.
+  const auto isOnline = [&](std::size_t t) { return deployment_.mgmt().target(t).online; };
+  if (!std::all_of(targets.begin(), targets.end(), isOnline)) {
+    std::vector<std::size_t> repaired;
+    for (const auto t : targets) {
+      if (isOnline(t)) repaired.push_back(t);
+    }
+    for (const auto t : online) {
+      if (repaired.size() >= count) break;
+      if (std::find(repaired.begin(), repaired.end(), t) == repaired.end()) {
+        repaired.push_back(t);
+      }
+    }
+    targets = std::move(repaired);
+  }
+
+  files_.push_back(FileInfo{path, StripePattern(std::move(targets), settings.chunkSize), 0});
+  return FileHandle{files_.size() - 1};
+}
+
+FileHandle FileSystem::createPinned(const std::string& path, std::vector<std::size_t> targets,
+                                    util::Bytes chunkSize) {
+  BEESIM_ASSERT(!path.empty() && path.front() == '/', "file paths must be absolute");
+  for (const auto t : targets) {
+    BEESIM_ASSERT(t < deployment_.cluster().targetCount(), "pinned target out of range");
+  }
+  files_.push_back(FileInfo{path, StripePattern(std::move(targets), chunkSize), 0});
+  return FileHandle{files_.size() - 1};
+}
+
+const FileInfo& FileSystem::info(FileHandle handle) const {
+  BEESIM_ASSERT(handle.value < files_.size(), "unknown file handle");
+  return files_[handle.value];
+}
+
+void FileSystem::transferAsync(std::size_t node, FileHandle handle, util::Bytes offset,
+                               util::Bytes length, double queueWeight, bool isWrite,
+                               std::function<void(util::Seconds)> done) {
+  BEESIM_ASSERT(handle.value < files_.size(), "unknown file handle");
+  BEESIM_ASSERT(queueWeight > 0.0, "queue weight must be positive");
+  auto& file = files_[handle.value];
+
+  if (length == 0) {
+    if (done) {
+      auto& fluid = deployment_.fluid();
+      fluid.engine().scheduleAfter(0.0, [done, &fluid] { done(fluid.now()); });
+    }
+    return;
+  }
+
+  const auto perTarget = file.pattern.bytesPerTarget(offset, length);
+  if (isWrite) {
+    file.size = std::max(file.size, offset + length);
+  }
+
+  // One fluid flow per touched target; the operation completes when all do.
+  std::size_t flowsToStart = 0;
+  for (const auto bytes : perTarget) {
+    if (bytes > 0) ++flowsToStart;
+  }
+  BEESIM_ASSERT(flowsToStart > 0, "transfer touched no target");
+
+  auto pendingFlows = std::make_shared<std::size_t>(flowsToStart);
+  for (std::size_t slot = 0; slot < perTarget.size(); ++slot) {
+    if (perTarget[slot] == 0) continue;
+    const std::size_t target = file.pattern.targets()[slot];
+    if (isWrite) deployment_.mgmt().recordUsage(target, perTarget[slot]);
+    deployment_.fluid().startFlow(sim::FlowSpec{
+        .path = deployment_.writePath(node, target),
+        .bytes = perTarget[slot],
+        .queueWeight = queueWeight,
+        .rateCap = 0.0,
+        .onComplete =
+            [pendingFlows, done](const sim::FlowStats& stats) {
+              BEESIM_ASSERT(*pendingFlows > 0, "transfer completion underflow");
+              if (--*pendingFlows == 0 && done) done(stats.endTime);
+            },
+    });
+  }
+}
+
+void FileSystem::writeAsync(std::size_t node, FileHandle handle, util::Bytes offset,
+                            util::Bytes length, double queueWeight,
+                            std::function<void(util::Seconds)> done) {
+  transferAsync(node, handle, offset, length, queueWeight, /*isWrite=*/true, std::move(done));
+}
+
+void FileSystem::readAsync(std::size_t node, FileHandle handle, util::Bytes offset,
+                           util::Bytes length, double queueWeight,
+                           std::function<void(util::Seconds)> done) {
+  BEESIM_ASSERT(handle.value < files_.size(), "unknown file handle");
+  BEESIM_ASSERT(offset + length <= files_[handle.value].size,
+                "read beyond the end of the file");
+  transferAsync(node, handle, offset, length, queueWeight, /*isWrite=*/false,
+                std::move(done));
+}
+
+void FileSystem::truncate(FileHandle handle, util::Bytes size) {
+  BEESIM_ASSERT(handle.value < files_.size(), "unknown file handle");
+  files_[handle.value].size = size;
+}
+
+}  // namespace beesim::beegfs

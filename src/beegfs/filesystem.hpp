@@ -1,0 +1,94 @@
+// FileSystem facade: the client-visible API of the simulated BeeGFS.
+//
+// Mirrors what an application (or IOR) sees: directories carry striping
+// settings (stripe count + chunk size, set per folder by the administrator,
+// Section II); creating a file picks its targets with the configured
+// heuristic; writes are asynchronous fluid flows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "beegfs/chooser.hpp"
+#include "beegfs/deployment.hpp"
+#include "beegfs/stripe.hpp"
+
+namespace beesim::beegfs {
+
+struct FileHandle {
+  std::size_t value = 0;
+  friend bool operator==(FileHandle a, FileHandle b) { return a.value == b.value; }
+};
+
+struct FileInfo {
+  std::string path;
+  StripePattern pattern;
+  util::Bytes size = 0;
+};
+
+class FileSystem {
+ public:
+  /// `chooserRng` drives the target-choice heuristic.
+  FileSystem(Deployment& deployment, util::Rng chooserRng);
+
+  Deployment& deployment() { return deployment_; }
+
+  /// Create/replace a directory with explicit striping settings.  Parent
+  /// directories are not required to exist (flat namespace keyed by path).
+  void mkdir(const std::string& path, const StripeSettings& settings);
+
+  /// Striping settings a file created under `path` would receive (deepest
+  /// matching directory prefix; falls back to the deployment default).
+  StripeSettings settingsFor(const std::string& path) const;
+
+  /// Create a file; its targets are chosen by the configured heuristic.
+  /// The stripe count is clamped to the number of online targets.
+  FileHandle create(const std::string& path);
+
+  /// Create a file with an explicitly pinned target list (used by benches
+  /// that need a specific allocation, e.g. Fig. 13's shared-vs-disjoint
+  /// comparison) and chunk size.
+  FileHandle createPinned(const std::string& path, std::vector<std::size_t> targets,
+                          util::Bytes chunkSize);
+
+  const FileInfo& info(FileHandle handle) const;
+  std::size_t fileCount() const { return files_.size(); }
+
+  /// Asynchronously write [offset, offset+length) of `handle` from compute
+  /// node `node`.  `queueWeight` is the outstanding-request weight this
+  /// write contributes to each crossed resource (the IOR runner computes it
+  /// from the node's worker budget).  `done` fires (once) with the
+  /// completion time after the last byte lands.
+  void writeAsync(std::size_t node, FileHandle handle, util::Bytes offset, util::Bytes length,
+                  double queueWeight, std::function<void(util::Seconds)> done);
+
+  /// Asynchronously read [offset, offset+length) of `handle` into compute
+  /// node `node`.  The range must lie within the file.  Reads cross the same
+  /// resources as writes (the paper expects read behaviour to mirror write
+  /// behaviour w.r.t. target allocation; Section III-B).
+  void readAsync(std::size_t node, FileHandle handle, util::Bytes offset, util::Bytes length,
+                 double queueWeight, std::function<void(util::Seconds)> done);
+
+  /// Set a file's logical size without moving data (ftruncate semantics;
+  /// lets tests and read benchmarks materialize pre-existing files).
+  void truncate(FileHandle handle, util::Bytes size);
+
+  /// The chooser in use (inspectable by tests).
+  TargetChooser& chooser() { return *chooser_; }
+
+ private:
+  void transferAsync(std::size_t node, FileHandle handle, util::Bytes offset,
+                     util::Bytes length, double queueWeight, bool isWrite,
+                     std::function<void(util::Seconds)> done);
+
+  Deployment& deployment_;
+  util::Rng rng_;
+  std::unique_ptr<TargetChooser> chooser_;
+  std::map<std::string, StripeSettings> directories_;
+  std::vector<FileInfo> files_;
+};
+
+}  // namespace beesim::beegfs

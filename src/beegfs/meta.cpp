@@ -1,0 +1,35 @@
+#include "beegfs/meta.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace beesim::beegfs {
+
+MetaService::MetaService(const MetaParams& params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  BEESIM_ASSERT(params.createLatency >= 0.0, "create latency must be >= 0");
+  BEESIM_ASSERT(params.openLatency >= 0.0, "open latency must be >= 0");
+  BEESIM_ASSERT(params.statLatency >= 0.0, "stat latency must be >= 0");
+  BEESIM_ASSERT(params.jitterSigmaLog >= 0.0, "jitter sigma must be >= 0");
+}
+
+util::Seconds MetaService::jittered(util::Seconds base) {
+  ++ops_;
+  if (base <= 0.0) return 0.0;
+  return base * rng_.logNormalMedian(1.0, params_.jitterSigmaLog);
+}
+
+util::Seconds MetaService::createCost() { return jittered(params_.createLatency); }
+
+util::Seconds MetaService::openAllCost(std::size_t concurrentRanks) {
+  BEESIM_ASSERT(concurrentRanks >= 1, "need at least one rank");
+  // max of n i.i.d. latencies grows ~log(n); model that directly instead of
+  // sampling n draws (the constant is folded into openLatency).
+  const double pileUp = 1.0 + std::log(static_cast<double>(concurrentRanks));
+  return jittered(params_.openLatency) * pileUp;
+}
+
+util::Seconds MetaService::statCost() { return jittered(params_.statLatency); }
+
+}  // namespace beesim::beegfs

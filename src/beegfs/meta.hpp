@@ -1,0 +1,44 @@
+// Metadata service (MDS + MDT) cost model.
+//
+// The paper deliberately minimizes metadata influence (N-1 shared file,
+// Section III-B), but metadata latency is exactly what penalizes small data
+// sizes (Fig. 2's left side) together with client ramp-up, and it is the
+// substrate future N-N (file-per-process) experiments need.  The MDS serves
+// operations from an SSD-backed MDT; operation latencies carry log-normal
+// jitter and scale with the number of concurrent metadata operations.
+#pragma once
+
+#include "beegfs/params.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace beesim::beegfs {
+
+class MetaService {
+ public:
+  MetaService(const MetaParams& params, util::Rng rng);
+
+  /// Latency of creating a file entry (rank 0 performs it).
+  util::Seconds createCost();
+
+  /// Latency experienced by `concurrentRanks` ranks opening the same file at
+  /// once.  Opens are served concurrently by the MDS but contend on the MDT;
+  /// the returned value is the time until the *last* open finishes (a mild
+  /// logarithmic pile-up, SSD MDTs handle deep queues well).
+  util::Seconds openAllCost(std::size_t concurrentRanks);
+
+  /// Latency of one stat.
+  util::Seconds statCost();
+
+  /// Total metadata operations served (diagnostics).
+  std::uint64_t opsServed() const { return ops_; }
+
+ private:
+  util::Seconds jittered(util::Seconds base);
+
+  MetaParams params_;
+  util::Rng rng_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace beesim::beegfs

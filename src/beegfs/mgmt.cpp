@@ -1,0 +1,62 @@
+#include "beegfs/mgmt.hpp"
+
+#include "util/error.hpp"
+
+namespace beesim::beegfs {
+
+ManagementService::ManagementService(const topo::ClusterConfig& cluster,
+                                     util::Bytes targetCapacity) {
+  hostTargetCount_.resize(cluster.hosts.size());
+  for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
+    hostTargetCount_[h] = cluster.hosts[h].targets.size();
+    for (std::size_t t = 0; t < cluster.hosts[h].targets.size(); ++t) {
+      TargetEntry entry;
+      entry.flatIndex = cluster.flatTargetIndex(h, t);
+      entry.host = h;
+      entry.indexInHost = t;
+      entry.beegfsNum = cluster.beegfsTargetNum(entry.flatIndex);
+      entry.name = cluster.hosts[h].targets[t].name;
+      entry.capacity = targetCapacity;
+      targets_.push_back(std::move(entry));
+    }
+  }
+  // flatTargetIndex is row-major over hosts, so entries are already sorted by
+  // flat index; assert the invariant the accessors rely on.
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    BEESIM_ASSERT(targets_[i].flatIndex == i, "registry order broken");
+  }
+}
+
+const TargetEntry& ManagementService::target(std::size_t flatIndex) const {
+  BEESIM_ASSERT(flatIndex < targets_.size(), "unknown target");
+  return targets_[flatIndex];
+}
+
+std::vector<std::size_t> ManagementService::onlineTargets() const {
+  std::vector<std::size_t> online;
+  for (const auto& t : targets_) {
+    if (t.online) online.push_back(t.flatIndex);
+  }
+  return online;
+}
+
+void ManagementService::setTargetOnline(std::size_t flatIndex, bool online) {
+  BEESIM_ASSERT(flatIndex < targets_.size(), "unknown target");
+  targets_[flatIndex].online = online;
+}
+
+void ManagementService::recordUsage(std::size_t flatIndex, util::Bytes bytes) {
+  BEESIM_ASSERT(flatIndex < targets_.size(), "unknown target");
+  auto& entry = targets_[flatIndex];
+  if (entry.capacity > 0 && entry.used + bytes > entry.capacity) {
+    throw util::ConfigError("target " + entry.name + " is full");
+  }
+  entry.used += bytes;
+}
+
+std::size_t ManagementService::targetsOnHost(std::size_t host) const {
+  BEESIM_ASSERT(host < hostTargetCount_.size(), "unknown host");
+  return hostTargetCount_[host];
+}
+
+}  // namespace beesim::beegfs

@@ -1,0 +1,62 @@
+// Management service (beegfs-mgmtd): the registry every other component
+// consults to find targets and services (Section II, Figure 1).
+//
+// In the simulation the registry is the authoritative mapping between flat
+// target indices, their hosts, their BeeGFS-style numeric ids (101..),
+// online state and consumed capacity.  Choosers consult it to skip offline
+// targets; the filesystem updates per-target usage as files grow, enabling
+// capacity-aware experiments and failure injection in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/cluster.hpp"
+#include "util/units.hpp"
+
+namespace beesim::beegfs {
+
+/// State of one registered storage target.
+struct TargetEntry {
+  std::size_t flatIndex = 0;
+  std::size_t host = 0;
+  std::size_t indexInHost = 0;
+  int beegfsNum = 0;      // e.g. 101, 202
+  std::string name;
+  bool online = true;
+  util::Bytes capacity = 0;
+  util::Bytes used = 0;
+};
+
+class ManagementService {
+ public:
+  /// Registers every target of the cluster.  `targetCapacity` is the usable
+  /// capacity attributed to each OST (PlaFRIM: 131 TB / 8).
+  ManagementService(const topo::ClusterConfig& cluster, util::Bytes targetCapacity);
+
+  std::size_t targetCount() const { return targets_.size(); }
+  const TargetEntry& target(std::size_t flatIndex) const;
+
+  /// All currently-online flat target indices.
+  std::vector<std::size_t> onlineTargets() const;
+
+  /// Mark a target offline/online (failure injection).
+  void setTargetOnline(std::size_t flatIndex, bool online);
+
+  /// Account `bytes` written to a target.  Throws ConfigError if the target
+  /// would exceed its capacity (capacity 0 disables accounting).
+  void recordUsage(std::size_t flatIndex, util::Bytes bytes);
+
+  /// Number of storage hosts in the registry.
+  std::size_t hostCount() const { return hostTargetCount_.size(); }
+
+  /// Targets per host (registry view).
+  std::size_t targetsOnHost(std::size_t host) const;
+
+ private:
+  std::vector<TargetEntry> targets_;
+  std::vector<std::size_t> hostTargetCount_;
+};
+
+}  // namespace beesim::beegfs

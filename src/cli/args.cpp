@@ -1,0 +1,92 @@
+#include "cli/args.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace beesim::cli {
+
+Args::Args(std::vector<std::string> tokens, std::vector<std::string> booleanFlags) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const auto& token = tokens[i];
+    if (token.rfind("--", 0) != 0) {
+      positionals_.push_back(token);
+      continue;
+    }
+    const auto body = token.substr(2);
+    if (body.empty()) throw util::ConfigError("bare '--' is not a valid flag");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    const bool isBoolean =
+        std::find(booleanFlags.begin(), booleanFlags.end(), body) != booleanFlags.end();
+    if (isBoolean) {
+      values_[body] = "true";
+    } else {
+      if (i + 1 >= tokens.size()) {
+        throw util::ConfigError("flag --" + body + " needs a value");
+      }
+      values_[body] = tokens[++i];
+    }
+  }
+}
+
+std::optional<std::string> Args::get(const std::string& name) const {
+  used_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::getString(const std::string& name, const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+long Args::getInt(const std::string& name, long fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long parsed = std::stol(*value, &pos);
+    if (pos != value->size()) throw std::invalid_argument("trailing");
+    return parsed;
+  } catch (const std::exception&) {
+    throw util::ConfigError("flag --" + name + ": '" + *value + "' is not an integer");
+  }
+}
+
+double Args::getDouble(const std::string& name, double fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*value, &pos);
+    if (pos != value->size()) throw std::invalid_argument("trailing");
+    return parsed;
+  } catch (const std::exception&) {
+    throw util::ConfigError("flag --" + name + ": '" + *value + "' is not a number");
+  }
+}
+
+util::Bytes Args::getBytes(const std::string& name, util::Bytes fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  return util::parseBytes(*value);  // throws ConfigError with details
+}
+
+bool Args::getBool(const std::string& name) const {
+  const auto value = get(name);
+  return value && (*value == "true" || *value == "1" || *value == "yes");
+}
+
+std::vector<std::string> Args::unusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, _] : values_) {
+    if (!used_.count(name)) unused.push_back("--" + name);
+  }
+  return unused;
+}
+
+}  // namespace beesim::cli

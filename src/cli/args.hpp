@@ -1,0 +1,46 @@
+// Tiny command-line argument parser for the beesim CLI.
+//
+// Supports `--flag value`, `--flag=value` and boolean `--flag`; collects
+// positionals; knows which flags were consumed so unknown flags can be
+// reported.  Deliberately minimal -- no dependency, easily testable.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace beesim::cli {
+
+class Args {
+ public:
+  /// Parse argv-style tokens (without the program/subcommand names).
+  /// `booleanFlags` lists flags that take no value.
+  Args(std::vector<std::string> tokens, std::vector<std::string> booleanFlags = {});
+
+  /// Value of --name, if present.
+  std::optional<std::string> get(const std::string& name) const;
+
+  /// Typed access with defaults.  Throw util::ConfigError on malformed
+  /// values (bad numbers, bad sizes).
+  std::string getString(const std::string& name, const std::string& fallback) const;
+  long getInt(const std::string& name, long fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+  util::Bytes getBytes(const std::string& name, util::Bytes fallback) const;
+  bool getBool(const std::string& name) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// Flags that were supplied but never queried -- call after all `get`s to
+  /// reject typos.  (Queries are tracked by a mutable used-set.)
+  std::vector<std::string> unusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace beesim::cli

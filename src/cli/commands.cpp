@@ -1,0 +1,328 @@
+#include "cli/commands.hpp"
+
+#include <map>
+
+#include "core/advisor.hpp"
+#include "core/allocation.hpp"
+#include "core/analytic.hpp"
+#include "beegfs/deployment.hpp"
+#include "beegfs/filesystem.hpp"
+#include "harness/campaign.hpp"
+#include "sim/trace.hpp"
+#include "harness/concurrent.hpp"
+#include "ior/options.hpp"
+#include "stats/plot.hpp"
+#include "stats/summary.hpp"
+#include "topology/catalyst.hpp"
+#include "topology/loader.hpp"
+#include "topology/plafrim.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::cli {
+
+namespace {
+
+using namespace beesim::util::literals;
+
+/// Resolve the --cluster flag: a factory name or a JSON file path.
+topo::ClusterConfig resolveCluster(const Args& args) {
+  const auto name = args.getString("cluster", "plafrim2");
+  const auto nodes = static_cast<std::size_t>(args.getInt("nodes", 16));
+  if (nodes == 0) throw util::ConfigError("--nodes must be >= 1");
+  if (name == "plafrim1") return topo::makePlafrim(topo::Scenario::kEthernet10G, nodes);
+  if (name == "plafrim2") return topo::makePlafrim(topo::Scenario::kOmniPath100G, nodes);
+  if (name == "catalyst") return topo::makeCatalystLike(nodes);
+  auto cluster = topo::loadCluster(name);
+  // --nodes can resize a file-described cluster by cloning its first node.
+  if (args.get("nodes")) {
+    if (cluster.nodes.empty()) throw util::ConfigError("cluster file has no nodes");
+    auto prototype = cluster.nodes.front();
+    cluster.nodes.resize(nodes, prototype);
+    for (std::size_t n = 0; n < cluster.nodes.size(); ++n) {
+      cluster.nodes[n].name = cluster.name + "-node" + std::to_string(n);
+    }
+  }
+  return cluster;
+}
+
+beegfs::ChooserKind chooserFromFlag(const std::string& flag) {
+  if (flag == "rr" || flag == "round-robin") return beegfs::ChooserKind::kRoundRobin;
+  if (flag == "random") return beegfs::ChooserKind::kRandom;
+  if (flag == "balanced") return beegfs::ChooserKind::kBalanced;
+  if (flag == "rr-interleaved") return beegfs::ChooserKind::kRoundRobinInterleaved;
+  throw util::ConfigError("--chooser must be rr|random|balanced|rr-interleaved");
+}
+
+/// Common run-config assembly for run/sweep/concurrent.
+harness::RunConfig baseConfig(const Args& args, const topo::ClusterConfig& cluster) {
+  harness::RunConfig config;
+  config.cluster = cluster;
+  config.fs.chooser = chooserFromFlag(args.getString("chooser", "rr"));
+  return config;
+}
+
+void rejectUnknownFlags(const Args& args) {
+  const auto unused = args.unusedFlags();
+  if (!unused.empty()) {
+    std::string all;
+    for (const auto& f : unused) all += (all.empty() ? "" : ", ") + f;
+    throw util::ConfigError("unknown flag(s): " + all);
+  }
+}
+
+}  // namespace
+
+int cmdDescribe(const Args& args, std::ostream& out) {
+  const auto cluster = resolveCluster(args);
+  const auto seed = args.getInt("seed", 2022);
+  (void)seed;
+  rejectUnknownFlags(args);
+
+  out << "cluster: " << cluster.name << "\n";
+  out << "compute nodes: " << cluster.nodes.size() << " (NIC "
+      << util::formatBandwidth(cluster.nodes.front().nicBandwidth) << ", client cap "
+      << util::formatBandwidth(cluster.nodes.front().clientThroughputCap) << ")\n";
+  util::TableWriter table({"host", "NIC MiB/s", "OSS cap", "OSTs", "per-OST peak"});
+  for (const auto& host : cluster.hosts) {
+    const storage::HddRaidModel model(host.targets.front().device);
+    table.addRow({host.name, util::fmt(host.nicBandwidth, 0),
+                  host.serviceCap > 0 ? util::fmt(host.serviceCap, 0) : "none",
+                  std::to_string(host.targets.size()), util::fmt(model.peakRate(), 0)});
+  }
+  out << table.render();
+  out << "network bound (all nodes vs all hosts, Fig. 3): "
+      << util::formatBandwidth(core::networkBound(cluster.nodes.size(), cluster.hosts.size(),
+                                                  cluster.hosts.front().nicBandwidth))
+      << "\n";
+  return 0;
+}
+
+int cmdRun(const Args& args, std::ostream& out) {
+  const auto cluster = resolveCluster(args);
+  auto config = baseConfig(args, cluster);
+  const auto ppn = static_cast<int>(args.getInt("ppn", 8));
+  const auto stripe = static_cast<unsigned>(args.getInt("stripe", 4));
+  const auto total = args.getBytes("total", 32_GiB);
+  const auto reps = static_cast<std::size_t>(args.getInt("reps", 10));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2022));
+  const auto pattern = args.getString("pattern", "n1");
+  const auto op = args.getString("op", "write");
+  const auto traceFile = args.getString("trace", "");
+  rejectUnknownFlags(args);
+
+  config.fs.defaultStripe.stripeCount = stripe;
+  config.job = ior::IorJob::onFirstNodes(cluster.nodes.size(), ppn);
+  config.ior.blockSize = ior::blockSizeForTotal(total, config.job.ranks());
+  if (pattern == "nn") {
+    config.ior.pattern = ior::AccessPattern::kFilePerProcess;
+  } else if (pattern != "n1") {
+    throw util::ConfigError("--pattern must be n1 or nn");
+  }
+  if (op == "read") {
+    config.ior.operation = ior::Operation::kRead;
+  } else if (op != "write") {
+    throw util::ConfigError("--op must be write or read");
+  }
+
+  std::vector<harness::CampaignEntry> entries(1);
+  entries[0].config = config;
+  harness::ProtocolOptions protocol;
+  protocol.repetitions = reps;
+
+  std::map<std::string, std::size_t> allocationCounts;
+  const auto store = harness::executeCampaign(
+      entries, protocol, seed, [&](const harness::RunRecord& record, harness::ResultRow&) {
+        ++allocationCounts[core::Allocation(record.ior.targetsUsed, cluster).key()];
+      });
+
+  const auto summary = stats::summarize(store.metric("bandwidth_mibps"));
+  out << config.ior.describe() << "  (" << config.job.ranks() << " ranks on "
+      << cluster.nodes.size() << " nodes, " << reps << " repetitions)\n";
+  out << "bandwidth: " << summary.describe() << " MiB/s\n";
+  out << "allocations: ";
+  for (const auto& [key, count] : allocationCounts) out << key << " x" << count << "  ";
+  out << "\n";
+
+  if (!traceFile.empty()) {
+    // One extra traced run (same seed as the campaign root) with the flow
+    // timeline exported as JSONL and a per-resource traffic decomposition.
+    util::Rng rng(seed);
+    sim::FluidSimulator fluid;
+    beegfs::Deployment deployment(fluid, cluster, config.fs, rng.split());
+    beegfs::FileSystem fs(deployment, rng.split());
+    sim::FlowTracer tracer(fluid);
+    ior::runIor(fs, config.job, config.ior);
+    tracer.writeJsonl(traceFile);
+    out << "trace: wrote " << tracer.events().size() << " events to " << traceFile << "\n";
+    util::TableWriter usage({"resource", "MiB carried", "busy s", "peak MiB/s"});
+    for (const auto& u : tracer.resourceUsage()) {
+      if (u.mib <= 0.0) continue;
+      usage.addRow({u.name, util::fmt(u.mib, 0), util::fmt(u.busyTime, 2),
+                    util::fmt(u.peakRate, 0)});
+    }
+    out << usage.render();
+  }
+  return 0;
+}
+
+int cmdSweep(const Args& args, std::ostream& out) {
+  const auto cluster = resolveCluster(args);
+  const auto ppn = static_cast<int>(args.getInt("ppn", 8));
+  const auto reps = static_cast<std::size_t>(args.getInt("reps", 30));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2022));
+  const auto total = args.getBytes("total", 32_GiB);
+  auto config = baseConfig(args, cluster);
+  rejectUnknownFlags(args);
+
+  std::vector<harness::CampaignEntry> entries;
+  for (unsigned count = 1; count <= cluster.targetCount(); ++count) {
+    harness::CampaignEntry entry;
+    entry.config = config;
+    entry.config.fs.defaultStripe.stripeCount = count;
+    entry.config.job = ior::IorJob::onFirstNodes(cluster.nodes.size(), ppn);
+    entry.config.ior.blockSize = ior::blockSizeForTotal(total, entry.config.job.ranks());
+    entry.factors["count"] = std::to_string(count);
+    entries.push_back(std::move(entry));
+  }
+  harness::ProtocolOptions protocol;
+  protocol.repetitions = reps;
+
+  core::StripeCountAdvisor advisor;
+  const auto store = harness::executeCampaign(
+      entries, protocol, seed, [&](const harness::RunRecord& record, harness::ResultRow&) {
+        advisor.add(static_cast<unsigned>(record.ior.targetsUsed.size()),
+                    core::Allocation(record.ior.targetsUsed, cluster),
+                    record.ior.bandwidth);
+      });
+
+  std::vector<stats::CategoryScatter> cats;
+  util::TableWriter table({"stripe count", "mean MiB/s", "sd", "min", "max"});
+  for (unsigned count = 1; count <= cluster.targetCount(); ++count) {
+    const auto bw = store.metric("bandwidth_mibps", {{"count", std::to_string(count)}});
+    const auto s = stats::summarize(bw);
+    cats.push_back(stats::CategoryScatter{std::to_string(count), bw});
+    table.addRow({std::to_string(count), util::fmt(s.mean, 1), util::fmt(s.sd, 1),
+                  util::fmt(s.min, 1), util::fmt(s.max, 1)});
+  }
+  out << table.render() << "\n";
+  stats::PlotOptions plot;
+  plot.xLabel = "stripe count (individual executions)";
+  plot.yLabel = "MiB/s";
+  out << stats::renderCategoryScatter(cats, plot) << "\n";
+  out << advisor.recommend().rationale << "\n";
+  return 0;
+}
+
+int cmdConcurrent(const Args& args, std::ostream& out) {
+  const auto apps = static_cast<std::size_t>(args.getInt("apps", 2));
+  const auto nodesPerApp = static_cast<std::size_t>(args.getInt("nodes-per-app", 8));
+  if (apps < 1) throw util::ConfigError("--apps must be >= 1");
+
+  topo::ClusterConfig cluster = [&] {
+    if (args.get("nodes")) return resolveCluster(args);
+    // Build with exactly the node count the applications need.
+    std::vector<std::string> tokens{"--nodes", std::to_string(apps * nodesPerApp)};
+    if (const auto c = args.get("cluster")) {
+      tokens.push_back("--cluster");
+      tokens.push_back(*c);
+    }
+    return resolveCluster(Args(tokens));
+  }();
+  if (cluster.nodes.size() < apps * nodesPerApp) {
+    throw util::ConfigError("cluster has fewer nodes than apps * nodes-per-app");
+  }
+
+  const auto stripe = static_cast<unsigned>(args.getInt("stripe", 4));
+  const auto ppn = static_cast<int>(args.getInt("ppn", 8));
+  const auto total = args.getBytes("total", 32_GiB);
+  const auto reps = static_cast<std::size_t>(args.getInt("reps", 10));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2022));
+  auto base = baseConfig(args, cluster);
+  rejectUnknownFlags(args);
+  base.fs.defaultStripe.stripeCount = stripe;
+
+  std::vector<double> aggregates;
+  std::vector<double> perApp;
+  std::size_t sharedTargetRuns = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    std::vector<harness::AppSpec> specs(apps);
+    for (std::size_t a = 0; a < apps; ++a) {
+      specs[a].job.ppn = ppn;
+      for (std::size_t n = 0; n < nodesPerApp; ++n) {
+        specs[a].job.nodeIds.push_back(a * nodesPerApp + n);
+      }
+      specs[a].ior.blockSize = ior::blockSizeForTotal(total, specs[a].job.ranks());
+    }
+    const auto result = harness::runConcurrent(base, specs, seed + rep);
+    aggregates.push_back(result.aggregateBandwidth);
+    for (const auto& app : result.apps) perApp.push_back(app.bandwidth);
+    if (result.sharedTargets > 0) ++sharedTargetRuns;
+  }
+
+  out << apps << " concurrent applications x " << nodesPerApp << " nodes x " << ppn
+      << " ppn, stripe " << stripe << ", " << util::formatBytes(total) << " each, " << reps
+      << " repetitions\n";
+  out << "aggregate (Eq. 1): " << stats::summarize(aggregates).describe() << " MiB/s\n";
+  out << "per application:   " << stats::summarize(perApp).describe() << " MiB/s\n";
+  out << "runs with target sharing: " << sharedTargetRuns << "/" << reps << "\n";
+  return 0;
+}
+
+int cmdExportCluster(const Args& args, std::ostream& out) {
+  const auto cluster = resolveCluster(args);
+  const auto file = args.getString("out", "");
+  rejectUnknownFlags(args);
+  if (file.empty()) {
+    out << topo::clusterToJson(cluster);
+  } else {
+    topo::saveCluster(cluster, file);
+    out << "wrote " << file << "\n";
+  }
+  return 0;
+}
+
+std::string usage() {
+  return "beesim -- BeeGFS-like storage-target-allocation simulator (CLUSTER'22 study)\n"
+         "\n"
+         "usage: beesim <command> [flags]\n"
+         "\n"
+         "commands:\n"
+         "  describe         print the selected topology and analytic bounds\n"
+         "  run              run repeated IOR executions, report bandwidth + allocations\n"
+         "  sweep            stripe-count sweep with advisor recommendation\n"
+         "  concurrent       concurrent applications with Eq. 1 aggregate\n"
+         "  export-cluster   dump the selected topology as editable JSON\n"
+         "\n"
+         "shared flags:\n"
+         "  --cluster plafrim1|plafrim2|catalyst|FILE.json   (default plafrim2)\n"
+         "  --nodes N --seed S\n"
+         "run flags:      --ppn --stripe --total --chooser --reps --pattern n1|nn\n"
+         "                --op write|read --trace FILE.jsonl\n"
+         "sweep flags:    --ppn --reps --total --chooser\n"
+         "concurrent:     --apps --nodes-per-app --ppn --stripe --total --reps\n"
+         "export-cluster: --out FILE\n";
+}
+
+int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+  if (argv.empty() || argv[0] == "help" || argv[0] == "--help") {
+    out << usage();
+    return argv.empty() ? 1 : 0;
+  }
+  const std::string command = argv[0];
+  const Args args(std::vector<std::string>(argv.begin() + 1, argv.end()));
+  try {
+    if (command == "describe") return cmdDescribe(args, out);
+    if (command == "run") return cmdRun(args, out);
+    if (command == "sweep") return cmdSweep(args, out);
+    if (command == "concurrent") return cmdConcurrent(args, out);
+    if (command == "export-cluster") return cmdExportCluster(args, out);
+    err << "unknown command '" << command << "'\n\n" << usage();
+    return 1;
+  } catch (const util::Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace beesim::cli

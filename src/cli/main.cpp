@@ -1,0 +1,13 @@
+// beesim CLI entry point.  All logic lives in commands.cpp so tests can
+// drive the commands directly.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return beesim::cli::runCli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,78 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::core {
+
+StripeCountAdvisor::StripeCountAdvisor(AdvisorOptions options) : options_(options) {
+  BEESIM_ASSERT(options_.worstCaseWeight >= 0.0 && options_.worstCaseWeight <= 1.0,
+                "worst-case weight must be in [0, 1]");
+  BEESIM_ASSERT(options_.cvPenalty >= 0.0, "cv penalty must be >= 0");
+}
+
+void StripeCountAdvisor::add(unsigned stripeCount, Allocation allocation, double bandwidth) {
+  BEESIM_ASSERT(stripeCount >= 1, "stripe count must be >= 1");
+  byCount_[stripeCount].add(std::move(allocation), bandwidth);
+}
+
+Recommendation StripeCountAdvisor::recommend() const {
+  BEESIM_ASSERT(!byCount_.empty(), "advisor has no measurements");
+
+  Recommendation rec;
+  for (const auto& [count, analyzer] : byCount_) {
+    const auto groups = analyzer.groups();
+    BEESIM_ASSERT(!groups.empty(), "count with no allocation groups");
+
+    CountAssessment a;
+    a.stripeCount = count;
+    a.samples = analyzer.measurementCount();
+
+    std::vector<double> all;
+    for (const auto& g : groups) {
+      all.insert(all.end(), g.bandwidths.begin(), g.bandwidths.end());
+    }
+    const auto overall = stats::summarize(all);
+    a.meanBandwidth = overall.mean;
+    a.cv = overall.cv();
+    a.worstAllocationMean = groups.front().summary.mean;  // groups sorted by mean
+    a.bestAllocationMean = groups.back().summary.mean;
+    a.allocationSensitive =
+        a.bestAllocationMean > 0.0 &&
+        (a.bestAllocationMean - a.worstAllocationMean) / a.bestAllocationMean >
+            options_.allocationSensitivityTolerance;
+
+    const double blended = options_.worstCaseWeight * a.worstAllocationMean +
+                           (1.0 - options_.worstCaseWeight) * a.meanBandwidth;
+    a.score = blended / (1.0 + options_.cvPenalty * a.cv);
+    rec.assessments.push_back(a);
+  }
+
+  const auto best = std::max_element(
+      rec.assessments.begin(), rec.assessments.end(),
+      [](const CountAssessment& x, const CountAssessment& y) { return x.score < y.score; });
+  rec.stripeCount = best->stripeCount;
+
+  // Rationale in the style of the paper's lessons.
+  const auto& chosen = *best;
+  rec.rationale = "Recommend stripe count " + std::to_string(chosen.stripeCount) + ": mean " +
+                  util::fmt(chosen.meanBandwidth, 0) + " MiB/s, worst-allocation mean " +
+                  util::fmt(chosen.worstAllocationMean, 0) + " MiB/s";
+  if (!chosen.allocationSensitive) {
+    rec.rationale += "; performance does not depend on target placement";
+  }
+  for (const auto& a : rec.assessments) {
+    if (a.stripeCount != chosen.stripeCount && a.allocationSensitive) {
+      rec.rationale += ". Count " + std::to_string(a.stripeCount) +
+                       " is allocation-sensitive (worst " +
+                       util::fmt(a.worstAllocationMean, 0) + " vs best " +
+                       util::fmt(a.bestAllocationMean, 0) + " MiB/s)";
+    }
+  }
+  rec.rationale += ".";
+  return rec;
+}
+
+}  // namespace beesim::core

@@ -1,0 +1,76 @@
+// Stripe-count advisor: the actionable output of the paper.
+//
+// Given per-stripe-count bandwidth samples (with their allocations), the
+// advisor scores each candidate count and recommends a system default.  The
+// scoring encodes the paper's reasoning:
+//
+//   * expected bandwidth matters (Scenario 2: more targets -> more speed);
+//   * *worst-allocation* bandwidth matters even more for a system default --
+//     a count whose performance depends on the luck of target placement
+//     (e.g. 4 on PlaFRIM/Scenario 1) is a bad default even if its best case
+//     is fine (Lesson #4);
+//   * predictability (low spread) is a tie-breaker (Lesson #5).
+//
+// On both PlaFRIM scenarios the advisor recommends the maximum count, which
+// is exactly the paper's conclusion; the advisor exists so the analysis can
+// be re-run on *other* systems (goal (ii) of the paper).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+
+namespace beesim::core {
+
+struct CountAssessment {
+  unsigned stripeCount = 0;
+  double meanBandwidth = 0.0;
+  /// Mean bandwidth of the worst-performing allocation group.
+  double worstAllocationMean = 0.0;
+  /// Mean of the best allocation group.
+  double bestAllocationMean = 0.0;
+  /// Coefficient of variation over all samples of this count.
+  double cv = 0.0;
+  /// True when the count's performance is materially allocation-dependent
+  /// (best/worst allocation means differ by more than the tolerance).
+  bool allocationSensitive = false;
+  std::size_t samples = 0;
+  double score = 0.0;
+};
+
+struct Recommendation {
+  unsigned stripeCount = 0;
+  std::vector<CountAssessment> assessments;  // ascending stripe count
+  /// Human-readable rationale ("lesson learned" style).
+  std::string rationale;
+};
+
+struct AdvisorOptions {
+  /// Relative best/worst allocation gap above which a count is flagged
+  /// allocation-sensitive.
+  double allocationSensitivityTolerance = 0.10;
+  /// Weight of worst-case vs mean bandwidth in the score
+  /// (score = w * worst + (1-w) * mean, scaled by a predictability factor).
+  double worstCaseWeight = 0.6;
+  /// Predictability penalty strength: score *= 1 / (1 + cvPenalty * cv).
+  double cvPenalty = 0.5;
+};
+
+class StripeCountAdvisor {
+ public:
+  explicit StripeCountAdvisor(AdvisorOptions options = {});
+
+  /// Feed one measurement.
+  void add(unsigned stripeCount, Allocation allocation, double bandwidth);
+
+  /// Assess all counts seen so far.  Throws ContractError when empty.
+  Recommendation recommend() const;
+
+ private:
+  AdvisorOptions options_;
+  std::map<unsigned, AllocationAnalyzer> byCount_;
+};
+
+}  // namespace beesim::core

@@ -1,0 +1,62 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace beesim::core {
+
+void AllocationAnalyzer::add(Allocation allocation, double bandwidth) {
+  measurements_.push_back(AllocatedMeasurement{std::move(allocation), bandwidth});
+}
+
+std::vector<AllocationGroup> AllocationAnalyzer::groups() const {
+  std::map<std::string, AllocationGroup> byKey;
+  for (const auto& m : measurements_) {
+    auto& group = byKey[m.allocation.key()];
+    if (group.bandwidths.empty()) {
+      group.key = m.allocation.key();
+      group.balanceRatio = m.allocation.balanceRatio();
+    }
+    group.bandwidths.push_back(m.bandwidth);
+  }
+  std::vector<AllocationGroup> out;
+  out.reserve(byKey.size());
+  for (auto& [key, group] : byKey) {
+    group.summary = stats::summarize(group.bandwidths);
+    group.box = stats::boxPlot(group.bandwidths);
+    out.push_back(std::move(group));
+  }
+  std::sort(out.begin(), out.end(), [](const AllocationGroup& a, const AllocationGroup& b) {
+    return a.summary.mean < b.summary.mean;
+  });
+  return out;
+}
+
+double AllocationAnalyzer::balanceBandwidthCorrelation() const {
+  BEESIM_ASSERT(measurements_.size() >= 2, "correlation needs >= 2 measurements");
+  double meanX = 0.0;
+  double meanY = 0.0;
+  for (const auto& m : measurements_) {
+    meanX += m.allocation.balanceRatio();
+    meanY += m.bandwidth;
+  }
+  meanX /= static_cast<double>(measurements_.size());
+  meanY /= static_cast<double>(measurements_.size());
+
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (const auto& m : measurements_) {
+    const double dx = m.allocation.balanceRatio() - meanX;
+    const double dy = m.bandwidth - meanY;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace beesim::core

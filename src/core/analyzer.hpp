@@ -1,0 +1,48 @@
+// Allocation analyzer: re-bins bandwidth measurements by their (min,max)
+// allocation -- the transformation that turns Fig. 6 into Figs. 8/10 and
+// exposes the cause of the bimodal clouds.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "stats/summary.hpp"
+
+namespace beesim::core {
+
+/// One measurement tagged with its allocation.
+struct AllocatedMeasurement {
+  Allocation allocation;
+  double bandwidth = 0.0;
+};
+
+struct AllocationGroup {
+  std::string key;              // "(1,3)"
+  double balanceRatio = 0.0;    // min/max of that allocation
+  std::vector<double> bandwidths;
+  stats::Summary summary;
+  stats::BoxPlot box;
+};
+
+class AllocationAnalyzer {
+ public:
+  void add(Allocation allocation, double bandwidth);
+
+  /// Groups ordered by ascending mean bandwidth (the paper orders Fig. 8's
+  /// x-axis roughly by balance, which coincides with mean in Scenario 1).
+  std::vector<AllocationGroup> groups() const;
+
+  /// Pearson correlation between balance ratio and bandwidth across all
+  /// measurements (the paper: "performance increases with the min/max
+  /// ratio").
+  double balanceBandwidthCorrelation() const;
+
+  std::size_t measurementCount() const { return measurements_.size(); }
+
+ private:
+  std::vector<AllocatedMeasurement> measurements_;
+};
+
+}  // namespace beesim::core

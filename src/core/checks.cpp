@@ -1,0 +1,56 @@
+#include "core/checks.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::core {
+
+CheckList::CheckList(std::string title) : title_(std::move(title)) {}
+
+void CheckList::expect(const std::string& name, bool condition, const std::string& detail) {
+  checks_.push_back(Check{name, condition, detail});
+}
+
+void CheckList::expectGreater(const std::string& name, double a, double b) {
+  // Three decimals: several checks compare coefficients of variation (~1e-2).
+  expect(name, a > b, util::fmt(a, 3) + " > " + util::fmt(b, 3));
+}
+
+void CheckList::expectNear(const std::string& name, double value, double reference,
+                           double relativeTolerance) {
+  BEESIM_ASSERT(relativeTolerance >= 0.0, "tolerance must be >= 0");
+  const double scale = std::fabs(reference) > 0.0 ? std::fabs(reference) : 1.0;
+  const bool ok = std::fabs(value - reference) <= relativeTolerance * scale;
+  expect(name, ok,
+         util::fmt(value, 1) + " vs " + util::fmt(reference, 1) + " (tol " +
+             util::fmt(100.0 * relativeTolerance, 0) + "%)");
+}
+
+void CheckList::expectRatio(const std::string& name, double a, double b, double ratio,
+                            double relativeTolerance) {
+  BEESIM_ASSERT(b != 0.0, "ratio check against zero");
+  expectNear(name, a / b, ratio, relativeTolerance);
+}
+
+bool CheckList::allPassed() const {
+  for (const auto& check : checks_) {
+    if (!check.passed) return false;
+  }
+  return true;
+}
+
+std::string CheckList::render() const {
+  std::string out = "\n== shape checks: " + title_ + " ==\n";
+  for (const auto& check : checks_) {
+    out += check.passed ? "[PASS] " : "[FAIL] ";
+    out += check.name;
+    if (!check.detail.empty()) out += "  (" + check.detail + ")";
+    out += '\n';
+  }
+  out += allPassed() ? "ALL CHECKS PASSED\n" : "SOME CHECKS FAILED\n";
+  return out;
+}
+
+}  // namespace beesim::core

@@ -1,0 +1,48 @@
+// Shape checks: machine-verifiable versions of the paper's qualitative
+// claims.
+//
+// Reproducing a benchmarking paper on a simulator cannot (and should not)
+// match absolute MiB/s; what must hold are the *shapes*: who wins, by
+// roughly what factor, where the crossovers fall, which distributions are
+// bimodal.  Every bench binary ends with a checklist of these assertions so
+// `bench_output.txt` documents the reproduction status line by line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace beesim::core {
+
+struct Check {
+  std::string name;
+  bool passed = false;
+  std::string detail;
+};
+
+class CheckList {
+ public:
+  explicit CheckList(std::string title);
+
+  /// Record one check.
+  void expect(const std::string& name, bool condition, const std::string& detail = "");
+
+  /// expect(a `relation` b) with the values embedded in the detail.
+  void expectGreater(const std::string& name, double a, double b);
+  void expectNear(const std::string& name, double value, double reference,
+                  double relativeTolerance);
+  /// |a/b - ratio| within tolerance (for "X is ~R times Y" claims).
+  void expectRatio(const std::string& name, double a, double b, double ratio,
+                   double relativeTolerance);
+
+  bool allPassed() const;
+  const std::vector<Check>& checks() const { return checks_; }
+
+  /// Render as a "[PASS]/[FAIL]" list.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<Check> checks_;
+};
+
+}  // namespace beesim::core

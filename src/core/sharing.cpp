@@ -1,0 +1,42 @@
+#include "core/sharing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::core {
+
+void SharingImpactAnalyzer::addShared(double bandwidth) { shared_.push_back(bandwidth); }
+
+void SharingImpactAnalyzer::addDisjoint(double bandwidth) { disjoint_.push_back(bandwidth); }
+
+SharingVerdict SharingImpactAnalyzer::analyze(double alpha, double equivalenceMargin) const {
+  BEESIM_ASSERT(shared_.size() >= 2 && disjoint_.size() >= 2,
+                "sharing analysis needs >= 2 samples per group");
+  BEESIM_ASSERT(equivalenceMargin >= 0.0, "equivalence margin must be >= 0");
+
+  SharingVerdict verdict;
+  verdict.alpha = alpha;
+  verdict.equivalenceMargin = equivalenceMargin;
+  verdict.normalityShared = stats::ksNormalTestFitted(shared_);
+  verdict.normalityDisjoint = stats::ksNormalTestFitted(disjoint_);
+  verdict.welch = stats::welchTTest(shared_, disjoint_);
+  const double scale = std::max(std::fabs(verdict.welch.meanB), 1e-12);
+  const double relativeDifference = std::fabs(verdict.welch.meanDifference) / scale;
+  verdict.sharingHarmless =
+      !verdict.welch.significantAt(alpha) || relativeDifference <= equivalenceMargin;
+
+  verdict.summary =
+      "shared (n=" + std::to_string(shared_.size()) + ", mean " +
+      util::fmt(verdict.welch.meanA, 1) + " MiB/s) vs disjoint (n=" +
+      std::to_string(disjoint_.size()) + ", mean " + util::fmt(verdict.welch.meanB, 1) +
+      " MiB/s): Welch p=" + util::fmt(verdict.welch.pValue, 4) +
+      (verdict.sharingHarmless
+           ? " -- cannot reject equal means; sharing OSTs shows no significant impact"
+           : " -- means differ significantly; sharing OSTs impacts performance");
+  return verdict;
+}
+
+}  // namespace beesim::core

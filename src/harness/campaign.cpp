@@ -1,0 +1,35 @@
+#include "harness/campaign.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace beesim::harness {
+
+ResultStore executeCampaign(const std::vector<CampaignEntry>& entries,
+                            const ProtocolOptions& options, std::uint64_t seed,
+                            const RowAnnotator& annotate) {
+  BEESIM_ASSERT(!entries.empty(), "campaign needs at least one configuration");
+
+  util::Rng rng(seed);
+  const auto plan = buildProtocolPlan(entries.size(), options, rng);
+
+  ResultStore store;
+  for (const auto& planned : plan) {
+    RunConfig config = entries[planned.configIndex].config;
+    config.startAt = planned.systemTime;
+    const auto record = runOnce(config, planned.seed);
+
+    ResultRow row;
+    row.factors = entries[planned.configIndex].factors;
+    row.factors["rep"] = std::to_string(planned.repetition);
+    row.metrics["bandwidth_mibps"] = record.ior.bandwidth;
+    row.metrics["meta_seconds"] = record.ior.metaTime;
+    row.metrics["env_network"] = record.environment.network;
+    row.metrics["env_storage"] = record.environment.storage;
+    if (annotate) annotate(record, row);
+    store.add(std::move(row));
+  }
+  return store;
+}
+
+}  // namespace beesim::harness

@@ -1,0 +1,40 @@
+// Campaign executor: runs a set of experimental configurations under the
+// paper's randomized-block protocol and collects a ResultStore.
+//
+// This is the top of the harness: every bench binary describes its figure as
+// a list of (RunConfig, factor labels) entries and calls execute().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/protocol.hpp"
+#include "harness/run.hpp"
+#include "harness/store.hpp"
+
+namespace beesim::harness {
+
+struct CampaignEntry {
+  RunConfig config;
+  /// Factor labels identifying this configuration in the store
+  /// (e.g. {"scenario","1"},{"nodes","8"}).
+  std::map<std::string, std::string> factors;
+};
+
+/// Hook to enrich each row (e.g. with the (min,max) allocation computed by
+/// the core analysis layer).  Called after the run's standard metrics are
+/// filled in.
+using RowAnnotator = std::function<void(const RunRecord&, ResultRow&)>;
+
+/// Execute `repetitions` of every entry under the randomized-block protocol.
+/// Rows carry the entry's factors plus "rep", and metrics
+/// "bandwidth_mibps", "meta_seconds", "env_network", "env_storage".
+/// Deterministic given `seed`.
+ResultStore executeCampaign(const std::vector<CampaignEntry>& entries,
+                            const ProtocolOptions& options, std::uint64_t seed,
+                            const RowAnnotator& annotate = nullptr);
+
+}  // namespace beesim::harness

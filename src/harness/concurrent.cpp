@@ -1,0 +1,86 @@
+#include "harness/concurrent.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "beegfs/deployment.hpp"
+#include "beegfs/filesystem.hpp"
+#include "sim/fluid.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace beesim::harness {
+
+util::MiBps aggregateBandwidth(const std::vector<ior::IorResult>& apps) {
+  BEESIM_ASSERT(!apps.empty(), "aggregate bandwidth of zero applications");
+  util::Bytes totalBytes = 0;
+  util::Seconds earliestStart = apps.front().start;
+  util::Seconds latestEnd = apps.front().end;
+  for (const auto& app : apps) {
+    totalBytes += app.totalBytes;
+    earliestStart = std::min(earliestStart, app.start);
+    latestEnd = std::max(latestEnd, app.end);
+  }
+  return util::bandwidth(totalBytes, latestEnd - earliestStart);
+}
+
+ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>& apps,
+                               std::uint64_t seed) {
+  BEESIM_ASSERT(!apps.empty(), "concurrent experiment needs >= 1 application");
+
+  // Node sets must be pairwise disjoint (the paper's setup: applications do
+  // not share compute nodes).
+  std::set<std::size_t> seenNodes;
+  for (const auto& app : apps) {
+    for (const auto node : app.job.nodeIds) {
+      if (!seenNodes.insert(node).second) {
+        throw util::ConfigError("concurrent applications must not share compute nodes");
+      }
+    }
+  }
+
+  util::Rng rng(seed);
+  beegfs::EnvironmentFactors env;
+  env.network = rng.logNormalMedian(1.0, base.noise.networkSigmaLog);
+  env.storage = rng.logNormalMedian(1.0, base.noise.storageSigmaLog);
+
+  sim::FluidSimulator fluid;
+  beegfs::Deployment deployment(fluid, base.cluster, base.fs, rng.split(), env);
+  beegfs::FileSystem fs(deployment, rng.split());
+
+  ConcurrentResult result;
+  result.seed = seed;
+  result.environment = env;
+  result.apps.resize(apps.size());
+
+  std::size_t remaining = apps.size();
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    // Distinct file names so the N-1 files do not collide.
+    auto options = apps[a].ior;
+    options.testFile += ".app" + std::to_string(a);
+    ior::launchIor(
+        fs, apps[a].job, options, base.startAt + apps[a].startOffset,
+        [&result, &remaining, a](const ior::IorResult& r) {
+          result.apps[a] = r;
+          --remaining;
+        },
+        apps[a].pinnedTargets);
+  }
+  fluid.run();
+  BEESIM_ASSERT(remaining == 0, "a concurrent application did not complete");
+
+  result.aggregateBandwidth = aggregateBandwidth(result.apps);
+
+  // Sharing statistics.
+  std::map<std::size_t, int> owners;
+  for (const auto& app : result.apps) {
+    for (const auto target : app.targetsUsed) ++owners[target];
+  }
+  result.distinctTargets = owners.size();
+  result.sharedTargets = static_cast<std::size_t>(
+      std::count_if(owners.begin(), owners.end(), [](const auto& kv) { return kv.second >= 2; }));
+  return result;
+}
+
+}  // namespace beesim::harness

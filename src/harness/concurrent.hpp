@@ -1,0 +1,55 @@
+// Concurrent-application experiments (Section IV-D).
+//
+// Several IOR applications run at once on one deployment, on disjoint node
+// sets (as in the paper), each with its own stripe configuration or pinned
+// allocation.  The aggregate bandwidth follows the paper's Equation 1:
+//
+//              sum_i vol_i
+//   ------------------------------------
+//   max_i(end_i)  -  min_i(start_i)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "beegfs/params.hpp"
+#include "harness/run.hpp"
+#include "ior/options.hpp"
+#include "ior/runner.hpp"
+#include "topology/cluster.hpp"
+
+namespace beesim::harness {
+
+/// One application of a concurrent experiment.
+struct AppSpec {
+  ior::IorJob job;
+  ior::IorOptions ior;
+  std::optional<std::vector<std::size_t>> pinnedTargets;
+  /// Start offset relative to the experiment start (0 = simultaneous).
+  util::Seconds startOffset = 0.0;
+};
+
+struct ConcurrentResult {
+  /// Per-application results, in AppSpec order.
+  std::vector<ior::IorResult> apps;
+  /// Paper Equation 1.
+  util::MiBps aggregateBandwidth = 0.0;
+  /// Number of distinct targets used by >= 2 applications.
+  std::size_t sharedTargets = 0;
+  /// Union of targets across applications.
+  std::size_t distinctTargets = 0;
+  beegfs::EnvironmentFactors environment;
+  std::uint64_t seed = 0;
+};
+
+/// Run all applications concurrently on one deployment built from
+/// `base.cluster`/`base.fs`/`base.noise` (base.job/base.ior are ignored).
+/// Node sets must be pairwise disjoint.  Deterministic given (inputs, seed).
+ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>& apps,
+                               std::uint64_t seed);
+
+/// Paper Equation 1 over per-app (start, end, bytes) triples.
+util::MiBps aggregateBandwidth(const std::vector<ior::IorResult>& apps);
+
+}  // namespace beesim::harness

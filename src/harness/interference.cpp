@@ -1,0 +1,80 @@
+#include "harness/interference.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace beesim::harness {
+
+namespace {
+
+/// Upper bound on concurrently outstanding bursts.  Real background clients
+/// are throttled by their own stacks; without a cap, a saturated system
+/// would accumulate flows without bound.
+constexpr std::size_t kMaxOutstandingBursts = 16;
+
+struct InjectorState {
+  beegfs::FileSystem* fs = nullptr;
+  InterferenceSpec spec;
+  util::Rng rng;
+  std::shared_ptr<InterferenceStats> stats;
+  std::size_t nextTarget = 0;
+  std::size_t outstanding = 0;
+
+  explicit InjectorState(util::Rng r) : rng(r) {}
+};
+
+void scheduleNextBurst(const std::shared_ptr<InjectorState>& state, util::Seconds at) {
+  if (at >= state->spec.end) return;
+  auto& deployment = state->fs->deployment();
+  deployment.fluid().engine().schedule(at, [state] {
+    auto& deployment = state->fs->deployment();
+    auto& fluid = deployment.fluid();
+    const auto now = fluid.now();
+    if (now >= state->spec.end) return;
+
+    // Back-pressure: when too many bursts are still draining, skip this one.
+    if (state->outstanding < kMaxOutstandingBursts) {
+      const auto bytes = static_cast<util::Bytes>(std::max(
+          1.0, state->rng.exponential(static_cast<double>(state->spec.meanBurstBytes))));
+      state->nextTarget = (state->nextTarget + 1) % state->spec.targets.size();
+      const auto target = state->spec.targets[state->nextTarget];
+
+      ++state->stats->burstsIssued;
+      state->stats->bytesIssued += bytes;
+      ++state->outstanding;
+
+      // One fluid flow per burst, straight to the chosen target.
+      fluid.startFlow(sim::FlowSpec{
+          .path = deployment.writePath(state->spec.node, target),
+          .bytes = bytes,
+          .queueWeight = state->spec.queueWeight,
+          .rateCap = 0.0,
+          .onComplete = [state](const sim::FlowStats&) { --state->outstanding; }});
+    }
+
+    scheduleNextBurst(state, now + state->rng.exponential(state->spec.meanIdle));
+  });
+}
+
+}  // namespace
+
+std::shared_ptr<InterferenceStats> injectInterference(beegfs::FileSystem& fs,
+                                                      const InterferenceSpec& spec,
+                                                      util::Rng rng) {
+  BEESIM_ASSERT(!spec.targets.empty(), "interference needs at least one target");
+  BEESIM_ASSERT(spec.node < fs.deployment().cluster().nodes.size(),
+                "interference node out of range");
+  BEESIM_ASSERT(spec.end > spec.start, "interference window must be non-empty");
+
+  auto state = std::make_shared<InjectorState>(rng);
+  state->fs = &fs;
+  state->spec = spec;
+  state->stats = std::make_shared<InterferenceStats>();
+
+  scheduleNextBurst(state, spec.start + state->rng.exponential(spec.meanIdle));
+  return state->stats;
+}
+
+}  // namespace beesim::harness

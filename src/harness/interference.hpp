@@ -1,0 +1,49 @@
+// Background interference injection.
+//
+// The paper's protocol is explicitly designed to cope with I/O from other
+// users of the production machine (Section III-C).  This injector plays the
+// role of those other users: it emits bursts of write traffic from a chosen
+// compute node to chosen targets, with exponentially distributed burst sizes
+// and idle gaps, for a bounded virtual-time window.  Tests and ablations use
+// it to check that the protocol's conclusions are robust to interference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "beegfs/filesystem.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace beesim::harness {
+
+struct InterferenceSpec {
+  /// Compute node the background traffic originates from.
+  std::size_t node = 0;
+  /// Flat target indices the bursts write to (round-robin across bursts).
+  std::vector<std::size_t> targets;
+  /// Mean burst size (exponential).
+  util::Bytes meanBurstBytes = 2ULL * 1024 * 1024 * 1024;  // 2 GiB
+  /// Mean idle gap between bursts (exponential).
+  util::Seconds meanIdle = 5.0;
+  /// Injection window [start, end) in virtual time.
+  util::Seconds start = 0.0;
+  util::Seconds end = 120.0;
+  /// Queue weight of each burst flow.
+  double queueWeight = 4.0;
+};
+
+/// Statistics of what was injected (inspectable after the simulation ran).
+struct InterferenceStats {
+  std::size_t burstsIssued = 0;
+  util::Bytes bytesIssued = 0;
+};
+
+/// Schedule the interference on `fs`'s simulator.  The returned stats object
+/// outlives the call and is filled in as the simulation runs; keep it alive
+/// until the simulation completes.
+std::shared_ptr<InterferenceStats> injectInterference(beegfs::FileSystem& fs,
+                                                      const InterferenceSpec& spec,
+                                                      util::Rng rng);
+
+}  // namespace beesim::harness

@@ -1,0 +1,39 @@
+#include "harness/run.hpp"
+
+#include "beegfs/deployment.hpp"
+#include "beegfs/filesystem.hpp"
+#include "sim/fluid.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace beesim::harness {
+
+RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
+  util::Rng rng(seed);
+
+  beegfs::EnvironmentFactors env;
+  env.network = rng.logNormalMedian(1.0, config.noise.networkSigmaLog);
+  env.storage = rng.logNormalMedian(1.0, config.noise.storageSigmaLog);
+
+  sim::FluidSimulator fluid;
+  beegfs::Deployment deployment(fluid, config.cluster, config.fs, rng.split(), env);
+  beegfs::FileSystem fs(deployment, rng.split());
+
+  RunRecord record;
+  record.seed = seed;
+  record.environment = env;
+
+  bool finished = false;
+  ior::launchIor(
+      fs, config.job, config.ior, config.startAt,
+      [&](const ior::IorResult& result) {
+        record.ior = result;
+        finished = true;
+      },
+      config.pinnedTargets);
+  fluid.run();
+  BEESIM_ASSERT(finished, "benchmark run did not complete");
+  return record;
+}
+
+}  // namespace beesim::harness

@@ -1,0 +1,51 @@
+// Single-experiment execution: one IOR run on a freshly booted simulated
+// system, under sampled environment noise.
+//
+// Each repetition builds its own FluidSimulator + Deployment + FileSystem so
+// no state leaks between runs -- the simulated analogue of the paper's
+// protocol choice to avoid warm-up and caching effects (Section III-B/C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "beegfs/params.hpp"
+#include "ior/options.hpp"
+#include "ior/runner.hpp"
+#include "topology/cluster.hpp"
+
+namespace beesim::harness {
+
+/// Per-run environment noise: the "mood" of the production system, sampled
+/// once per repetition as log-normal factors on network links and storage
+/// devices.
+struct NoiseSpec {
+  double networkSigmaLog = 0.015;
+  double storageSigmaLog = 0.04;
+};
+
+/// Everything needed to execute one benchmark run.
+struct RunConfig {
+  topo::ClusterConfig cluster;
+  beegfs::BeegfsParams fs;
+  ior::IorJob job;
+  ior::IorOptions ior;
+  /// Bypass the target chooser with an explicit allocation (N-1 only).
+  std::optional<std::vector<std::size_t>> pinnedTargets;
+  NoiseSpec noise;
+  /// Virtual system time at which the run starts (the protocol spaces runs
+  /// out in time so device-noise epochs differ; see protocol.hpp).
+  util::Seconds startAt = 0.0;
+};
+
+struct RunRecord {
+  ior::IorResult ior;
+  beegfs::EnvironmentFactors environment;
+  std::uint64_t seed = 0;
+};
+
+/// Execute one run to completion.  Deterministic given (config, seed).
+RunRecord runOnce(const RunConfig& config, std::uint64_t seed);
+
+}  // namespace beesim::harness

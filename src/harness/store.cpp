@@ -1,0 +1,78 @@
+#include "harness/store.hpp"
+
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::harness {
+
+namespace {
+
+bool matches(const ResultRow& row, const std::map<std::string, std::string>& where) {
+  for (const auto& [factor, value] : where) {
+    const auto it = row.factors.find(factor);
+    if (it == row.factors.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ResultStore::add(ResultRow row) { rows_.push_back(std::move(row)); }
+
+std::vector<double> ResultStore::metric(const std::string& metric,
+                                        const std::map<std::string, std::string>& where) const {
+  std::vector<double> values;
+  for (const auto& row : rows_) {
+    if (!matches(row, where)) continue;
+    const auto it = row.metrics.find(metric);
+    BEESIM_ASSERT(it != row.metrics.end(), "row lacks metric '" + metric + "'");
+    values.push_back(it->second);
+  }
+  return values;
+}
+
+std::map<std::string, std::vector<double>> ResultStore::groupBy(
+    const std::string& factor, const std::string& metric,
+    const std::map<std::string, std::string>& where) const {
+  std::map<std::string, std::vector<double>> groups;
+  for (const auto& row : rows_) {
+    if (!matches(row, where)) continue;
+    const auto fit = row.factors.find(factor);
+    if (fit == row.factors.end()) continue;
+    const auto mit = row.metrics.find(metric);
+    BEESIM_ASSERT(mit != row.metrics.end(), "row lacks metric '" + metric + "'");
+    groups[fit->second].push_back(mit->second);
+  }
+  return groups;
+}
+
+void ResultStore::writeCsv(const std::filesystem::path& path) const {
+  std::set<std::string> factorNames;
+  std::set<std::string> metricNames;
+  for (const auto& row : rows_) {
+    for (const auto& [k, _] : row.factors) factorNames.insert(k);
+    for (const auto& [k, _] : row.metrics) metricNames.insert(k);
+  }
+  std::vector<std::string> header(factorNames.begin(), factorNames.end());
+  header.insert(header.end(), metricNames.begin(), metricNames.end());
+
+  util::CsvWriter writer(path, header);
+  for (const auto& row : rows_) {
+    std::vector<std::string> fields;
+    fields.reserve(header.size());
+    for (const auto& name : factorNames) {
+      const auto it = row.factors.find(name);
+      fields.push_back(it != row.factors.end() ? it->second : "");
+    }
+    for (const auto& name : metricNames) {
+      const auto it = row.metrics.find(name);
+      fields.push_back(it != row.metrics.end() ? util::fmt(it->second, 6) : "");
+    }
+    writer.writeRow(fields);
+  }
+}
+
+}  // namespace beesim::harness

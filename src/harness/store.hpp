@@ -1,0 +1,45 @@
+// Result store: rows of (factors -> measurement) collected by a campaign,
+// with group-by queries for the analysis layer and CSV export matching the
+// companion-repository format of the paper.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace beesim::harness {
+
+/// One measurement row: named experimental factors plus named metrics.
+struct ResultRow {
+  std::map<std::string, std::string> factors;  // e.g. {"nodes","8"},{"count","4"}
+  std::map<std::string, double> metrics;       // e.g. {"bandwidth_mibps", 1460.2}
+};
+
+class ResultStore {
+ public:
+  void add(ResultRow row);
+
+  std::size_t size() const { return rows_.size(); }
+  const std::vector<ResultRow>& rows() const { return rows_; }
+
+  /// Values of metric `metric` for rows matching every (factor, value) pair
+  /// in `where` (empty = all rows).  Missing metric throws ContractError.
+  std::vector<double> metric(const std::string& metric,
+                             const std::map<std::string, std::string>& where = {}) const;
+
+  /// Group rows by a factor: distinct factor value -> metric values.
+  /// Rows lacking the factor are skipped.
+  std::map<std::string, std::vector<double>> groupBy(
+      const std::string& factor, const std::string& metric,
+      const std::map<std::string, std::string>& where = {}) const;
+
+  /// Write all rows as CSV.  Columns: union of factor names (sorted), then
+  /// union of metric names (sorted); absent cells are empty.
+  void writeCsv(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<ResultRow> rows_;
+};
+
+}  // namespace beesim::harness

@@ -1,0 +1,200 @@
+#include "ior/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace beesim::ior {
+
+std::size_t IorJob::nodeOfRank(int rank) const {
+  BEESIM_ASSERT(rank >= 0 && rank < ranks(), "rank out of range");
+  return nodeIds[static_cast<std::size_t>(rank) / static_cast<std::size_t>(ppn)];
+}
+
+IorJob IorJob::onFirstNodes(std::size_t nodes, int ppn) {
+  IorJob job;
+  job.nodeIds.resize(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) job.nodeIds[n] = n;
+  job.ppn = ppn;
+  return job;
+}
+
+void IorJob::validate(std::size_t clusterNodes) const {
+  if (nodeIds.empty()) throw util::ConfigError("IOR job needs at least one node");
+  if (ppn < 1) throw util::ConfigError("IOR job needs ppn >= 1");
+  std::set<std::size_t> distinct(nodeIds.begin(), nodeIds.end());
+  if (distinct.size() != nodeIds.size()) {
+    throw util::ConfigError("IOR job node list contains duplicates");
+  }
+  for (const auto n : nodeIds) {
+    if (n >= clusterNodes) throw util::ConfigError("IOR job references an unknown node");
+  }
+}
+
+namespace {
+
+/// Shared mutable state of one in-flight IOR run.
+struct RunState {
+  IorResult result;
+  int ranksRemaining = 0;
+  std::function<void(const IorResult&)> done;
+  beegfs::FileSystem* fs = nullptr;
+  IorJob job;
+  IorOptions options;
+  /// File handle per rank (same handle for all ranks in N-1).
+  std::vector<beegfs::FileHandle> rankFile;
+  /// Queue weight per flow, per rank.
+  std::vector<double> rankQueueWeight;
+};
+
+/// Issue segment `segment` of `rank`, chaining to the next segment on
+/// completion (IOR writes a rank's segments sequentially).
+void issueSegment(const std::shared_ptr<RunState>& state, int rank, int segment) {
+  const auto& options = state->options;
+  if (segment >= options.segments) {
+    // Rank done.
+    state->result.rankEnd[rank] = state->fs->deployment().fluid().now();
+    if (--state->ranksRemaining == 0) {
+      auto& result = state->result;
+      result.end = state->fs->deployment().fluid().now();
+      result.bandwidth = util::bandwidth(result.totalBytes, result.end - result.start);
+      if (state->done) state->done(result);
+    }
+    return;
+  }
+  const std::size_t node = state->job.nodeOfRank(rank);
+  const auto offset = options.rankSegmentOffset(rank, state->job.ranks(), segment);
+  const auto continuation = [state, rank, segment](util::Seconds) {
+    issueSegment(state, rank, segment + 1);
+  };
+  if (options.operation == Operation::kWrite) {
+    state->fs->writeAsync(node, state->rankFile[rank], offset, options.blockSize,
+                          state->rankQueueWeight[rank], continuation);
+  } else {
+    state->fs->readAsync(node, state->rankFile[rank], offset, options.blockSize,
+                         state->rankQueueWeight[rank], continuation);
+  }
+}
+
+}  // namespace
+
+void launchIor(beegfs::FileSystem& fs, const IorJob& job, const IorOptions& options,
+               util::Seconds startAt, std::function<void(const IorResult&)> done,
+               std::optional<std::vector<std::size_t>> pinnedTargets) {
+  options.validate();
+  auto& deployment = fs.deployment();
+  job.validate(deployment.cluster().nodes.size());
+  if (pinnedTargets && options.pattern == AccessPattern::kFilePerProcess) {
+    throw util::ConfigError("pinned targets are only supported for the shared-file mode");
+  }
+
+  auto state = std::make_shared<RunState>();
+  state->fs = &fs;
+  state->job = job;
+  state->options = options;
+  state->done = std::move(done);
+  state->ranksRemaining = job.ranks();
+  state->result.totalBytes = options.totalBytes(job.ranks());
+  state->result.rankEnd.assign(static_cast<std::size_t>(job.ranks()), 0.0);
+
+  deployment.fluid().engine().schedule(startAt, [state, pinnedTargets = std::move(
+                                                            pinnedTargets)]() mutable {
+    auto& fs = *state->fs;
+    auto& deployment = fs.deployment();
+    auto& meta = deployment.meta();
+    const auto& job = state->job;
+    const auto& options = state->options;
+
+    state->result.start = deployment.fluid().now();
+
+    // Metadata phase: rank 0 creates the file(s); then every rank opens.
+    const auto chunk = fs.settingsFor(options.testFile).chunkSize;
+    std::set<std::size_t> usedTargets;
+    util::Seconds metaCost = 0.0;
+    state->rankFile.resize(static_cast<std::size_t>(job.ranks()));
+    if (options.pattern == AccessPattern::kSharedFile) {
+      metaCost += meta.createCost();
+      const auto handle = pinnedTargets
+                              ? fs.createPinned(options.testFile, *pinnedTargets, chunk)
+                              : fs.create(options.testFile);
+      std::fill(state->rankFile.begin(), state->rankFile.end(), handle);
+      const auto& targets = fs.info(handle).pattern.targets();
+      usedTargets.insert(targets.begin(), targets.end());
+    } else {
+      // N-N: every rank creates its own file (creates contend on the MDS --
+      // serialized cost scaled logarithmically inside openAllCost's model;
+      // here we charge one create per rank, concurrently, as a max).
+      util::Seconds worstCreate = 0.0;
+      for (int r = 0; r < job.ranks(); ++r) {
+        worstCreate = std::max(worstCreate, meta.createCost());
+        const auto handle =
+            fs.create(options.testFile + "." + std::to_string(r));
+        state->rankFile[static_cast<std::size_t>(r)] = handle;
+        const auto& targets = fs.info(handle).pattern.targets();
+        usedTargets.insert(targets.begin(), targets.end());
+      }
+      metaCost += worstCreate;
+    }
+    metaCost += meta.openAllCost(static_cast<std::size_t>(job.ranks()));
+    state->result.metaTime = metaCost;
+    state->result.targetsUsed.assign(usedTargets.begin(), usedTargets.end());
+
+    // Read phase: the file must pre-exist with its full extent (IOR reads
+    // after a prior write; we materialize the layout without charging I/O).
+    if (options.operation == Operation::kRead) {
+      if (options.pattern == AccessPattern::kSharedFile) {
+        fs.truncate(state->rankFile[0], options.totalBytes(job.ranks()));
+      } else {
+        for (int r = 0; r < job.ranks(); ++r) {
+          fs.truncate(state->rankFile[static_cast<std::size_t>(r)],
+                      options.blockSize * static_cast<util::Bytes>(options.segments));
+        }
+      }
+    }
+
+    // Declare client-side load so contention and ramp-up apply.
+    const auto ioStart = deployment.fluid().now() + metaCost;
+    for (const auto node : job.nodeIds) {
+      deployment.setNodeProcesses(node, job.ppn);
+      deployment.markNodeJobStart(node, ioStart);
+    }
+
+    // Per-rank queue weight: the node's worker budget, split over its ppn
+    // ranks and each rank's per-write flow count (one flow per stripe
+    // target).
+    state->rankQueueWeight.resize(static_cast<std::size_t>(job.ranks()));
+    for (int r = 0; r < job.ranks(); ++r) {
+      const auto node = job.nodeOfRank(r);
+      const auto stripeCount =
+          fs.info(state->rankFile[static_cast<std::size_t>(r)]).pattern.stripeCount();
+      const double inflight = deployment.nodeEffectiveInflight(node, job.ppn);
+      state->rankQueueWeight[static_cast<std::size_t>(r)] =
+          inflight / (static_cast<double>(job.ppn) * static_cast<double>(stripeCount));
+    }
+
+    // I/O phase starts after the metadata phase.
+    deployment.fluid().engine().schedule(ioStart, [state] {
+      for (int r = 0; r < state->job.ranks(); ++r) issueSegment(state, r, 0);
+    });
+  });
+}
+
+IorResult runIor(beegfs::FileSystem& fs, const IorJob& job, const IorOptions& options,
+                 std::optional<std::vector<std::size_t>> pinnedTargets) {
+  IorResult result;
+  bool finished = false;
+  launchIor(
+      fs, job, options, fs.deployment().fluid().now(),
+      [&](const IorResult& r) {
+        result = r;
+        finished = true;
+      },
+      std::move(pinnedTargets));
+  fs.deployment().fluid().run();
+  BEESIM_ASSERT(finished, "IOR run did not complete");
+  return result;
+}
+
+}  // namespace beesim::ior

@@ -1,0 +1,222 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace beesim::sim {
+
+namespace {
+// A flow is finished when fewer than this many MiB remain; guards against
+// floating-point residue after piecewise integration.
+constexpr double kRemainderEpsMiB = 1e-9;
+}  // namespace
+
+CapacityFn constantCapacity(util::MiBps capacity) {
+  BEESIM_ASSERT(capacity >= 0.0, "capacity must be >= 0");
+  return [capacity](const ResourceLoad&) { return capacity; };
+}
+
+FluidSimulator::FluidSimulator() = default;
+
+ResourceIndex FluidSimulator::addResource(ResourceSpec spec) {
+  BEESIM_ASSERT(spec.capacity != nullptr, "resource needs a capacity model");
+  const ResourceIndex idx{static_cast<std::uint32_t>(resources_.size())};
+  resources_.push_back(std::move(spec));
+  return idx;
+}
+
+const std::string& FluidSimulator::resourceName(ResourceIndex idx) const {
+  BEESIM_ASSERT(idx.value < resources_.size(), "unknown resource index");
+  return resources_[idx.value].name;
+}
+
+FlowId FluidSimulator::startFlow(FlowSpec spec) {
+  BEESIM_ASSERT(!spec.path.empty(), "flow path must not be empty");
+  for (const auto r : spec.path) {
+    BEESIM_ASSERT(r.value < resources_.size(), "flow crosses an unknown resource");
+  }
+  const FlowId id{nextFlowId_++};
+
+  if (spec.bytes == 0) {
+    // Degenerate flow: completes instantly, never enters the solver.
+    if (spec.onComplete) {
+      FlowStats stats{id, engine_.now(), engine_.now(), 0};
+      engine_.scheduleAfter(0.0, [cb = std::move(spec.onComplete), stats] { cb(stats); });
+    }
+    return id;
+  }
+
+  ActiveFlow flow;
+  flow.id = id;
+  flow.path = std::move(spec.path);
+  flow.remainingMiB = util::toMiB(spec.bytes);
+  flow.queueWeight = spec.queueWeight;
+  flow.rateCap = spec.rateCap;
+  flow.startTime = engine_.now();
+  flow.bytes = spec.bytes;
+  flow.onComplete = std::move(spec.onComplete);
+
+  advanceProgressTo(engine_.now());
+  if (observer_ != nullptr) {
+    observer_->onFlowStarted(id, flow.path, flow.bytes, engine_.now());
+  }
+  flows_.push_back(std::move(flow));
+  ++activeCount_;
+  ratesValid_ = false;
+  scheduleResolve();
+  return id;
+}
+
+void FluidSimulator::startFlowAt(SimTime at, FlowSpec spec) {
+  engine_.schedule(at, [this, spec = std::move(spec)]() mutable { startFlow(std::move(spec)); });
+}
+
+util::MiBps FluidSimulator::flowRate(FlowId id) const {
+  for (const auto& flow : flows_) {
+    if (flow.id == id) return flow.rate;
+  }
+  return 0.0;
+}
+
+void FluidSimulator::invalidateCapacities() {
+  ratesValid_ = false;
+  scheduleResolve();
+}
+
+void FluidSimulator::scheduleResolve() {
+  if (resolvePending_) return;
+  resolvePending_ = true;
+  engine_.scheduleAfter(0.0, [this] {
+    resolvePending_ = false;
+    resolveNow();
+  });
+}
+
+void FluidSimulator::advanceProgressTo(SimTime t) {
+  BEESIM_ASSERT(t >= lastProgressTime_, "progress time moved backwards");
+  const double dt = t - lastProgressTime_;
+  if (dt > 0.0 && ratesValid_) {
+    for (auto& flow : flows_) {
+      flow.remainingMiB = std::max(0.0, flow.remainingMiB - flow.rate * dt);
+    }
+  }
+  lastProgressTime_ = t;
+}
+
+void FluidSimulator::resolveNow() {
+  advanceProgressTo(engine_.now());
+  completeFinishedFlows();
+
+  if (flows_.empty()) {
+    ratesValid_ = true;
+    return;
+  }
+
+  // Gather per-resource load.
+  std::vector<ResourceLoad> loads(resources_.size());
+  for (auto& load : loads) load.time = engine_.now();
+  for (const auto& flow : flows_) {
+    for (const auto r : flow.path) {
+      ++loads[r.value].flowCount;
+      loads[r.value].queueDepth += flow.queueWeight;
+    }
+  }
+
+  // Evaluate capacities once per resource.
+  std::vector<SolverResource> solverResources(resources_.size());
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    solverResources[r].capacity =
+        loads[r].flowCount > 0 ? resources_[r].capacity(loads[r]) : 0.0;
+    BEESIM_ASSERT(solverResources[r].capacity >= 0.0,
+                  "capacity model returned a negative rate for " + resources_[r].name);
+  }
+
+  std::vector<SolverFlow> solverFlows(flows_.size());
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    solverFlows[f].resources.reserve(flows_[f].path.size());
+    for (const auto r : flows_[f].path) solverFlows[f].resources.push_back(r.value);
+    solverFlows[f].rateCap = flows_[f].rateCap;
+    solverFlows[f].weight = flows_[f].queueWeight;
+  }
+
+  const auto solution = solveMaxMin(solverResources, solverFlows);
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    flows_[f].rate = solution.rates[f];
+  }
+  if (observer_ != nullptr) {
+    std::vector<FlowId> ids(flows_.size());
+    for (std::size_t f = 0; f < flows_.size(); ++f) ids[f] = flows_[f].id;
+    observer_->onRatesSolved(engine_.now(), ids, solution.rates);
+  }
+  ratesValid_ = true;
+  scheduleNextWakeup();
+}
+
+void FluidSimulator::completeFinishedFlows() {
+  std::size_t f = 0;
+  while (f < flows_.size()) {
+    if (flows_[f].remainingMiB <= kRemainderEpsMiB) {
+      ActiveFlow done = std::move(flows_[f]);
+      flows_[f] = std::move(flows_.back());
+      flows_.pop_back();
+      --activeCount_;
+      const FlowStats stats{done.id, done.startTime, engine_.now(), done.bytes};
+      if (observer_ != nullptr) observer_->onFlowCompleted(stats);
+      if (done.onComplete) done.onComplete(stats);
+    } else {
+      ++f;
+    }
+  }
+}
+
+void FluidSimulator::scheduleNextWakeup() {
+  if (wakeup_) {
+    engine_.cancel(*wakeup_);
+    wakeup_.reset();
+  }
+  if (flows_.empty()) return;
+
+  double horizon = std::numeric_limits<double>::infinity();
+  for (const auto& flow : flows_) {
+    if (flow.rate > 0.0) {
+      horizon = std::min(horizon, flow.remainingMiB / flow.rate);
+    }
+  }
+  if (resolveInterval_ > 0.0) horizon = std::min(horizon, resolveInterval_);
+  if (!std::isfinite(horizon)) {
+    // Every active flow is stalled (rate 0).  If no external event will ever
+    // change capacities, run() will detect the deadlock.
+    return;
+  }
+  // Clamp the advance to the clock's representable granularity: at a large
+  // virtual time T, adding a horizon below ~T*eps would not move the clock
+  // at all, and a nearly-finished flow (~1e-12 MiB left) would respin this
+  // wakeup at the same instant forever.  The clamp (a few ULPs of T) is far
+  // below any physically meaningful interval.
+  const double minAdvance = std::max(1e-9, engine_.now() * 4.0 *
+                                               std::numeric_limits<double>::epsilon());
+  horizon = std::max(horizon, minAdvance);
+  wakeup_ = engine_.scheduleAfter(horizon, [this] {
+    wakeup_.reset();
+    // Bank the progress made at the current (still valid) rates *before*
+    // invalidating them for the re-solve.
+    advanceProgressTo(engine_.now());
+    ratesValid_ = false;  // capacities may be time-dependent
+    resolveNow();
+  });
+}
+
+void FluidSimulator::run() {
+  while (true) {
+    engine_.run();
+    if (flows_.empty()) return;
+    // Events drained but flows remain: all rates are zero and nothing will
+    // change them.
+    BEESIM_ASSERT(false, "fluid simulation deadlocked: " + std::to_string(flows_.size()) +
+                             " flow(s) stalled at zero rate");
+  }
+}
+
+}  // namespace beesim::sim

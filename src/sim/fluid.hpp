@@ -1,0 +1,192 @@
+// Fluid (flow-level) simulation on top of the discrete-event core.
+//
+// Model: data transfers are fluid flows crossing a set of resources (links,
+// NICs, service processes, devices).  Between events the rate vector is the
+// max-min fair allocation (see maxmin.hpp); whenever the flow population or a
+// capacity changes, rates are re-solved.  Virtual time then advances directly
+// to the next interesting instant (a flow completion or a scheduled capacity
+// refresh), so a 100-repetition IOR campaign that takes hours of wall-clock
+// on a real cluster simulates in milliseconds.
+//
+// Resources may have *load-dependent* capacities: the capacity callback
+// receives the number of crossing flows and their aggregate queue weight.
+// This is how storage devices expose a concurrency ramp (an HDD RAID array
+// needs a deep queue to stream at full speed) and how stochastic variability
+// enters (callbacks may sample per-epoch noise keyed on the current time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/maxmin.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace beesim::sim {
+
+/// Index of a resource inside a FluidSimulator.
+struct ResourceIndex {
+  std::uint32_t value = 0;
+};
+
+/// Load snapshot passed to capacity callbacks at every solve.
+struct ResourceLoad {
+  /// Number of unfinished flows crossing the resource.
+  std::size_t flowCount = 0;
+  /// Sum of the queueWeight of those flows.  Storage models read this as an
+  /// effective queue depth (outstanding requests).
+  double queueDepth = 0.0;
+  /// Current virtual time; lets callbacks resample per-epoch noise.
+  SimTime time = 0.0;
+};
+
+/// Capacity model of a resource.  Must be pure given (load, its own state);
+/// it is invoked exactly once per resource per solve.
+using CapacityFn = std::function<util::MiBps(const ResourceLoad&)>;
+
+/// Convenience: constant capacity.
+CapacityFn constantCapacity(util::MiBps capacity);
+
+struct ResourceSpec {
+  std::string name;
+  CapacityFn capacity;
+};
+
+struct FlowId {
+  std::uint64_t value = 0;
+  friend bool operator==(FlowId a, FlowId b) { return a.value == b.value; }
+};
+
+/// Statistics delivered to the completion callback.
+struct FlowStats {
+  FlowId id;
+  SimTime startTime = 0.0;
+  SimTime endTime = 0.0;
+  util::Bytes bytes = 0;
+
+  /// Mean rate over the flow's lifetime (MiB/s).
+  util::MiBps meanRate() const {
+    return endTime > startTime ? util::bandwidth(bytes, endTime - startTime) : 0.0;
+  }
+};
+
+struct FlowSpec {
+  /// Resources the flow crosses (e.g. client -> node NIC -> server NIC ->
+  /// service -> device).  Must be non-empty.
+  std::vector<ResourceIndex> path;
+  /// Total bytes to transfer.  Zero-byte flows complete immediately.
+  util::Bytes bytes = 0;
+  /// Contribution to the queueDepth of every crossed resource, and the
+  /// flow's weight in the weighted max-min fair sharing (a flow backed by
+  /// more outstanding requests both deepens device queues and claims a
+  /// proportionally larger share of shared links).
+  double queueWeight = 1.0;
+  /// Per-flow rate cap in MiB/s (<= 0: uncapped).
+  util::MiBps rateCap = 0.0;
+  /// Invoked (from inside the event loop) when the flow finishes.
+  std::function<void(const FlowStats&)> onComplete;
+};
+
+/// Observer of fluid-simulation events (see sim/trace.hpp for the standard
+/// implementation).  All callbacks fire from inside the event loop.
+class FluidObserver {
+ public:
+  virtual ~FluidObserver() = default;
+
+  /// A flow entered the system.
+  virtual void onFlowStarted(FlowId id, const std::vector<ResourceIndex>& path,
+                             util::Bytes bytes, SimTime at) = 0;
+
+  /// Rates were re-solved; `rates[i]` belongs to `ids[i]`.
+  virtual void onRatesSolved(SimTime at, const std::vector<FlowId>& ids,
+                             const std::vector<util::MiBps>& rates) = 0;
+
+  /// A flow finished.
+  virtual void onFlowCompleted(const FlowStats& stats) = 0;
+};
+
+class FluidSimulator {
+ public:
+  FluidSimulator();
+
+  FluidSimulator(const FluidSimulator&) = delete;
+  FluidSimulator& operator=(const FluidSimulator&) = delete;
+
+  /// The underlying event engine (for scheduling waits, staggered app starts,
+  /// interference, ...).
+  Simulator& engine() { return engine_; }
+  SimTime now() const { return engine_.now(); }
+
+  /// Register a resource.  All resources must be added before flows start.
+  ResourceIndex addResource(ResourceSpec spec);
+  std::size_t resourceCount() const { return resources_.size(); }
+  const std::string& resourceName(ResourceIndex idx) const;
+
+  /// Start a flow at the current virtual time.  Returns its id.
+  FlowId startFlow(FlowSpec spec);
+
+  /// Schedule a flow to start at a later virtual time.
+  void startFlowAt(SimTime at, FlowSpec spec);
+
+  /// Current max-min rate of an active flow (0 if finished/unknown).
+  util::MiBps flowRate(FlowId id) const;
+
+  /// Number of unfinished flows.
+  std::size_t activeFlows() const { return activeCount_; }
+
+  /// Re-solve rates periodically (every `interval` seconds) while flows are
+  /// active, so load-dependent/noisy capacities are refreshed even between
+  /// completions.  <= 0 disables (default).
+  void setResolveInterval(util::Seconds interval) { resolveInterval_ = interval; }
+
+  /// Force capacities to be re-evaluated and rates re-solved at the current
+  /// time (e.g. after an external capacity change).
+  void invalidateCapacities();
+
+  /// Attach an observer (nullptr detaches).  At most one; the caller keeps
+  /// ownership and must outlive the simulation.
+  void setObserver(FluidObserver* observer) { observer_ = observer; }
+
+  /// Run until all events *and* flows drain.  Throws ContractError if flows
+  /// remain but cannot make progress (all rates zero with no future events).
+  void run();
+
+ private:
+  struct ActiveFlow {
+    FlowId id;
+    std::vector<ResourceIndex> path;
+    double remainingMiB = 0.0;
+    double queueWeight = 1.0;
+    util::MiBps rateCap = 0.0;
+    util::MiBps rate = 0.0;
+    SimTime startTime = 0.0;
+    util::Bytes bytes = 0;
+    std::function<void(const FlowStats&)> onComplete;
+  };
+
+  using Seconds = util::Seconds;
+
+  void scheduleResolve();
+  void resolveNow();
+  void advanceProgressTo(SimTime t);
+  void completeFinishedFlows();
+  void scheduleNextWakeup();
+
+  Simulator engine_;
+  std::vector<ResourceSpec> resources_;
+  std::vector<ActiveFlow> flows_;       // active flows, unordered
+  std::size_t activeCount_ = 0;
+  std::uint64_t nextFlowId_ = 1;
+  SimTime lastProgressTime_ = 0.0;
+  bool resolvePending_ = false;
+  Seconds resolveInterval_ = 0.0;
+  std::optional<EventId> wakeup_;
+  bool ratesValid_ = false;
+  FluidObserver* observer_ = nullptr;
+};
+
+}  // namespace beesim::sim

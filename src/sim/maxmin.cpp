@@ -1,0 +1,127 @@
+#include "sim/maxmin.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace beesim::sim {
+
+namespace {
+// Relative tolerance used to decide that a resource is saturated.  Rates are
+// MiB/s magnitudes (1e0..1e5), so an absolute epsilon scaled to the capacity
+// is robust.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+SolverResult solveMaxMin(std::span<const SolverResource> resources,
+                         std::span<const SolverFlow> flows) {
+  const std::size_t nRes = resources.size();
+  const std::size_t nFlows = flows.size();
+
+  SolverResult result;
+  result.rates.assign(nFlows, 0.0);
+  if (nFlows == 0) return result;
+
+  std::vector<double> residual(nRes);
+  for (std::size_t r = 0; r < nRes; ++r) {
+    BEESIM_ASSERT(resources[r].capacity >= 0.0, "resource capacity must be >= 0");
+    residual[r] = resources[r].capacity;
+  }
+
+  // activeWeight[r]: total weight of still-filling flows crossing r.
+  // activeCount[r] tracks the same set exactly; when it reaches zero the
+  // weight is reset to exactly 0.0 (repeated subtraction of doubles can
+  // leave a ~1e-16 ghost that would stall the filling with delta == 0).
+  std::vector<double> activeWeight(nRes, 0.0);
+  std::vector<std::uint32_t> activeCount(nRes, 0);
+  std::vector<char> frozen(nFlows, 0);
+  std::size_t activeFlows = 0;
+
+  for (std::size_t f = 0; f < nFlows; ++f) {
+    BEESIM_ASSERT(!flows[f].resources.empty(), "every flow must cross >= 1 resource");
+    BEESIM_ASSERT(flows[f].weight > 0.0, "flow weight must be positive");
+    bool dead = false;
+    for (const auto r : flows[f].resources) {
+      BEESIM_ASSERT(r < nRes, "flow references an unknown resource");
+      if (resources[r].capacity <= 0.0) dead = true;
+    }
+    if (dead) {
+      frozen[f] = 1;  // rate stays 0
+    } else {
+      for (const auto r : flows[f].resources) {
+        activeWeight[r] += flows[f].weight;
+        ++activeCount[r];
+      }
+      ++activeFlows;
+    }
+  }
+
+  while (activeFlows > 0) {
+    ++result.iterations;
+
+    // The largest uniform *normalized* increment (rate per unit weight)
+    // every active flow can absorb.
+    double delta = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < nRes; ++r) {
+      if (activeWeight[r] <= 0.0) continue;
+      delta = std::min(delta, residual[r] / activeWeight[r]);
+    }
+    for (std::size_t f = 0; f < nFlows; ++f) {
+      if (frozen[f] || flows[f].rateCap <= 0.0) continue;
+      delta = std::min(delta, (flows[f].rateCap - result.rates[f]) / flows[f].weight);
+    }
+    BEESIM_ASSERT(delta < std::numeric_limits<double>::infinity(),
+                  "progressive filling found no bottleneck");
+    delta = std::max(delta, 0.0);
+
+    // Apply the increment.
+    for (std::size_t f = 0; f < nFlows; ++f) {
+      if (!frozen[f]) result.rates[f] += delta * flows[f].weight;
+    }
+    for (std::size_t r = 0; r < nRes; ++r) {
+      residual[r] -= delta * activeWeight[r];
+    }
+
+    // Freeze flows bottlenecked by a saturated resource or by their own cap.
+    std::vector<char> resSaturated(nRes, 0);
+    for (std::size_t r = 0; r < nRes; ++r) {
+      if (activeWeight[r] > 0.0 &&
+          residual[r] <= kEps * std::max(1.0, resources[r].capacity)) {
+        resSaturated[r] = 1;
+        residual[r] = std::max(residual[r], 0.0);
+      }
+    }
+    std::size_t newlyFrozen = 0;
+    for (std::size_t f = 0; f < nFlows; ++f) {
+      if (frozen[f]) continue;
+      bool stop = false;
+      for (const auto r : flows[f].resources) {
+        if (resSaturated[r]) {
+          stop = true;
+          break;
+        }
+      }
+      if (!stop && flows[f].rateCap > 0.0 &&
+          result.rates[f] >= flows[f].rateCap - kEps * std::max(1.0, flows[f].rateCap)) {
+        stop = true;
+      }
+      if (stop) {
+        frozen[f] = 1;
+        ++newlyFrozen;
+        --activeFlows;
+        for (const auto r : flows[f].resources) {
+          activeWeight[r] -= flows[f].weight;
+          if (--activeCount[r] == 0) activeWeight[r] = 0.0;
+        }
+      }
+    }
+    // Progress guarantee: every iteration freezes at least one flow (delta was
+    // chosen as the tightest constraint).
+    BEESIM_ASSERT(newlyFrozen > 0, "progressive filling made no progress");
+  }
+
+  return result;
+}
+
+}  // namespace beesim::sim

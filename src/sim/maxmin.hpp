@@ -1,0 +1,57 @@
+// Max-min fair bandwidth sharing (progressive filling).
+//
+// This is the heart of the flow-level network/storage model.  Given a set of
+// resources with capacities (MiB/s) and a set of flows, each crossing a
+// subset of the resources and optionally rate-capped, the solver computes the
+// unique max-min fair rate vector: rates are raised uniformly until a
+// resource (or a flow cap) saturates, the flows bottlenecked there are
+// frozen, and filling continues with the rest.
+//
+// The allocation is *weighted*: each flow's share scales with its weight
+// (its outstanding-request intensity).  TCP-like fair sharing on a congested
+// Ethernet link is exactly what the paper's Scenario 1 exercises (Fig. 8/9: the hotter of the two server links
+// dictates completion time); the same abstraction covers storage-side
+// service capacity in Scenario 2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace beesim::sim {
+
+/// Solver input: one resource with an effective capacity for this solve.
+struct SolverResource {
+  util::MiBps capacity = 0.0;
+};
+
+/// Solver input: one flow crossing `resources` (indices into the resource
+/// array).  `rateCap` bounds the flow's own rate (<= 0 means uncapped).
+/// `weight` scales the flow's fair share (weighted max-min): a flow backed
+/// by twice the outstanding requests receives twice the rate on a shared
+/// bottleneck.  Flows of one application have equal weights, so single-app
+/// experiments reduce to the classic unweighted allocation.
+struct SolverFlow {
+  std::vector<std::uint32_t> resources;
+  util::MiBps rateCap = 0.0;
+  double weight = 1.0;
+};
+
+struct SolverResult {
+  /// Max-min fair rate per flow, same order as the input.
+  std::vector<util::MiBps> rates;
+  /// Number of filling iterations (diagnostics / micro-bench).
+  std::size_t iterations = 0;
+};
+
+/// Computes the max-min fair allocation.
+///
+/// Preconditions: every flow crosses at least one resource; all resource
+/// indices are in range; capacities are >= 0.  Flows through a zero-capacity
+/// resource receive rate 0.
+SolverResult solveMaxMin(std::span<const SolverResource> resources,
+                         std::span<const SolverFlow> flows);
+
+}  // namespace beesim::sim

@@ -1,0 +1,55 @@
+#include "sim/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace beesim::sim {
+
+EventId Simulator::schedule(SimTime at, EventFn fn) {
+  BEESIM_ASSERT(at >= now_, "cannot schedule an event in the past");
+  BEESIM_ASSERT(fn != nullptr, "event callback must not be null");
+  const EventId id{nextEventId_++};
+  queue_.push(QueuedEvent{at, id.value, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::scheduleAfter(SimTime delay, EventFn fn) {
+  BEESIM_ASSERT(delay >= 0.0, "event delay must be non-negative");
+  return schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) { cancelled_.insert(id.value); }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // Copy out the top event before popping: the callback may schedule more.
+    QueuedEvent event = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(event.sequence); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    BEESIM_ASSERT(event.at >= now_, "event queue yielded an event in the past");
+    now_ = event.at;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t processed = 0;
+  while (step()) ++processed;
+  return processed;
+}
+
+std::size_t Simulator::runUntil(SimTime limit) {
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().at > limit) break;
+    if (step()) ++processed;
+  }
+  if (now_ < limit) now_ = limit;
+  return processed;
+}
+
+}  // namespace beesim::sim

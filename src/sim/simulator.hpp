@@ -1,0 +1,80 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns virtual time and an event queue.  Events scheduled for the
+// same instant fire in scheduling order (FIFO tie-break via a sequence
+// number), which makes runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace beesim::sim {
+
+/// Virtual time in seconds.
+using SimTime = util::Seconds;
+
+/// Handle to a scheduled event, usable for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+};
+
+using EventFn = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now()).
+  EventId schedule(SimTime at, EventFn fn);
+
+  /// Schedule `fn` after `delay` seconds (>= 0).
+  EventId scheduleAfter(SimTime delay, EventFn fn);
+
+  /// Cancel a pending event.  Cancelling an already-fired or unknown event is
+  /// a harmless no-op (the simulator only remembers outstanding sequences).
+  void cancel(EventId id);
+
+  /// Execute the next pending event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains; returns the number of events processed.
+  std::size_t run();
+
+  /// Run events with timestamps <= limit; afterwards now() == max(limit, last
+  /// event time).  Returns the number of events processed.
+  std::size_t runUntil(SimTime limit);
+
+  /// Number of events still pending (cancelled events may be counted until
+  /// they surface).
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct QueuedEvent {
+    SimTime at;
+    std::uint64_t sequence;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;  // FIFO among equal timestamps
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t nextEventId_ = 1;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace beesim::sim

@@ -1,0 +1,137 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::sim {
+
+FlowTracer::FlowTracer(FluidSimulator& fluid) : fluid_(fluid) {
+  fluid_.setObserver(this);
+  lastBankTime_ = fluid_.now();
+}
+
+FlowTracer::~FlowTracer() { fluid_.setObserver(nullptr); }
+
+void FlowTracer::bankInterval(SimTime until) {
+  const double dt = until - lastBankTime_;
+  if (dt > 0.0 && !live_.empty()) {
+    // Per-resource aggregate rate over the elapsed interval.
+    std::vector<util::MiBps> rate;
+    for (const auto& [id, flow] : live_) {
+      (void)id;
+      for (const auto r : flow.path) {
+        if (r.value >= rate.size()) rate.resize(r.value + 1, 0.0);
+        rate[r.value] += flow.rate;
+      }
+    }
+    if (rate.size() > resourceMiB_.size()) {
+      resourceMiB_.resize(rate.size(), 0.0);
+      resourceBusy_.resize(rate.size(), 0.0);
+      resourcePeak_.resize(rate.size(), 0.0);
+    }
+    for (std::size_t r = 0; r < rate.size(); ++r) {
+      if (rate[r] > 0.0) {
+        resourceMiB_[r] += rate[r] * dt;
+        resourceBusy_[r] += dt;
+        resourcePeak_[r] = std::max(resourcePeak_[r], rate[r]);
+      }
+    }
+  }
+  lastBankTime_ = until;
+}
+
+void FlowTracer::onFlowStarted(FlowId id, const std::vector<ResourceIndex>& path,
+                               util::Bytes bytes, SimTime at) {
+  bankInterval(at);
+  live_[id.value] = LiveFlow{path, 0.0};
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kStart;
+  event.time = at;
+  event.flow = id.value;
+  event.bytes = bytes;
+  events_.push_back(event);
+}
+
+void FlowTracer::onRatesSolved(SimTime at, const std::vector<FlowId>& ids,
+                               const std::vector<util::MiBps>& rates) {
+  bankInterval(at);
+  double total = 0.0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto it = live_.find(ids[i].value);
+    if (it != live_.end()) it->second.rate = rates[i];
+    total += rates[i];
+  }
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kRates;
+  event.time = at;
+  event.activeFlows = ids.size();
+  event.totalRate = total;
+  events_.push_back(event);
+}
+
+void FlowTracer::onFlowCompleted(const FlowStats& stats) {
+  bankInterval(stats.endTime);
+  live_.erase(stats.id.value);
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kComplete;
+  event.time = stats.endTime;
+  event.flow = stats.id.value;
+  event.bytes = stats.bytes;
+  event.meanRate = stats.meanRate();
+  events_.push_back(event);
+}
+
+std::vector<ResourceUsage> FlowTracer::resourceUsage() const {
+  std::vector<ResourceUsage> usage;
+  for (std::size_t r = 0; r < resourceMiB_.size(); ++r) {
+    ResourceUsage u;
+    u.name = fluid_.resourceName(ResourceIndex{static_cast<std::uint32_t>(r)});
+    u.mib = resourceMiB_[r];
+    u.busyTime = resourceBusy_[r];
+    u.peakRate = resourcePeak_[r];
+    usage.push_back(std::move(u));
+  }
+  return usage;
+}
+
+double FlowTracer::resourceMiB(ResourceIndex resource) const {
+  if (resource.value >= resourceMiB_.size()) return 0.0;
+  return resourceMiB_[resource.value];
+}
+
+std::string FlowTracer::toJsonl() const {
+  std::string out;
+  for (const auto& event : events_) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kStart:
+        out += "{\"ev\":\"start\",\"t\":" + util::fmt(event.time, 6) +
+               ",\"flow\":" + std::to_string(event.flow) +
+               ",\"bytes\":" + std::to_string(event.bytes) + "}\n";
+        break;
+      case TraceEvent::Kind::kRates:
+        out += "{\"ev\":\"rates\",\"t\":" + util::fmt(event.time, 6) +
+               ",\"active\":" + std::to_string(event.activeFlows) +
+               ",\"total_mibps\":" + util::fmt(event.totalRate, 3) + "}\n";
+        break;
+      case TraceEvent::Kind::kComplete:
+        out += "{\"ev\":\"complete\",\"t\":" + util::fmt(event.time, 6) +
+               ",\"flow\":" + std::to_string(event.flow) +
+               ",\"bytes\":" + std::to_string(event.bytes) +
+               ",\"mean_mibps\":" + util::fmt(event.meanRate, 3) + "}\n";
+        break;
+    }
+  }
+  return out;
+}
+
+void FlowTracer::writeJsonl(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot write trace file: " + path.string());
+  out << toJsonl();
+  if (!out) throw util::IoError("failed writing trace file: " + path.string());
+}
+
+}  // namespace beesim::sim

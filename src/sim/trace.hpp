@@ -1,0 +1,97 @@
+// Flow tracing and resource utilization accounting.
+//
+// A FlowTracer observes a FluidSimulator and produces two artefacts:
+//
+//   * an event log (flow start / rate change / completion) exportable as
+//     JSONL -- one JSON object per line, loadable into pandas or jq for
+//     post-mortem timeline analysis of a run;
+//   * per-resource utilization: bytes carried and busy time, integrated
+//     from the piecewise-constant rate vector.  Because every flow crosses
+//     its bottleneck resource, these integrals give exact link/OST/OSS
+//     traffic decompositions ("how much of the run went through server 1's
+//     link?") that the bandwidth summary alone cannot answer.
+//
+// The tracer is exact, not sampled: it banks rate * dt on every re-solve.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/fluid.hpp"
+
+namespace beesim::sim {
+
+/// One recorded event (kept binary-compact; rendered to JSON on export).
+struct TraceEvent {
+  enum class Kind { kStart, kRates, kComplete };
+  Kind kind = Kind::kStart;
+  SimTime time = 0.0;
+  std::uint64_t flow = 0;      // kStart/kComplete
+  util::Bytes bytes = 0;       // kStart: size; kComplete: moved
+  util::MiBps meanRate = 0.0;  // kComplete
+  std::size_t activeFlows = 0; // kRates
+  util::MiBps totalRate = 0.0; // kRates: sum over flows
+};
+
+/// Aggregated per-resource counters.
+struct ResourceUsage {
+  std::string name;
+  /// Total bytes carried (sum of crossing flows' rate * dt).
+  double mib = 0.0;
+  /// Virtual time with at least one active flow crossing the resource.
+  util::Seconds busyTime = 0.0;
+  /// Peak aggregate rate observed.
+  util::MiBps peakRate = 0.0;
+};
+
+class FlowTracer final : public FluidObserver {
+ public:
+  /// Attaches to `fluid` (calls setObserver(this)); detaches on destruction.
+  explicit FlowTracer(FluidSimulator& fluid);
+  ~FlowTracer() override;
+
+  FlowTracer(const FlowTracer&) = delete;
+  FlowTracer& operator=(const FlowTracer&) = delete;
+
+  // FluidObserver:
+  void onFlowStarted(FlowId id, const std::vector<ResourceIndex>& path, util::Bytes bytes,
+                     SimTime at) override;
+  void onRatesSolved(SimTime at, const std::vector<FlowId>& ids,
+                     const std::vector<util::MiBps>& rates) override;
+  void onFlowCompleted(const FlowStats& stats) override;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Per-resource usage, in resource-index order.
+  std::vector<ResourceUsage> resourceUsage() const;
+
+  /// Total MiB carried by one resource.
+  double resourceMiB(ResourceIndex resource) const;
+
+  /// Export the event log as JSONL.  Each line is one event object:
+  ///   {"ev":"start","t":...,"flow":...,"bytes":...}
+  ///   {"ev":"rates","t":...,"active":...,"total_mibps":...}
+  ///   {"ev":"complete","t":...,"flow":...,"bytes":...,"mean_mibps":...}
+  std::string toJsonl() const;
+  void writeJsonl(const std::filesystem::path& path) const;
+
+ private:
+  void bankInterval(SimTime until);
+
+  FluidSimulator& fluid_;
+  std::vector<TraceEvent> events_;
+  /// Flow -> (path, current rate); alive flows only.
+  struct LiveFlow {
+    std::vector<ResourceIndex> path;
+    util::MiBps rate = 0.0;
+  };
+  std::map<std::uint64_t, LiveFlow> live_;
+  std::vector<double> resourceMiB_;
+  std::vector<util::Seconds> resourceBusy_;
+  std::vector<util::MiBps> resourcePeak_;
+  SimTime lastBankTime_ = 0.0;
+};
+
+}  // namespace beesim::sim

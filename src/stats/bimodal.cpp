@@ -1,0 +1,84 @@
+#include "stats/bimodal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::stats {
+
+BimodalityResult twoMeansSplit(std::span<const double> values) {
+  BEESIM_ASSERT(values.size() >= 4, "bimodality analysis needs >= 4 points");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+
+  // Prefix sums for O(1) cluster statistics at any split.
+  std::vector<double> prefix(n + 1, 0.0);
+  std::vector<double> prefixSq(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + sorted[i];
+    prefixSq[i + 1] = prefixSq[i] + sorted[i] * sorted[i];
+  }
+  auto sse = [&](std::size_t from, std::size_t to) {  // [from, to)
+    const auto count = static_cast<double>(to - from);
+    const double sum = prefix[to] - prefix[from];
+    const double sumSq = prefixSq[to] - prefixSq[from];
+    return sumSq - sum * sum / count;
+  };
+
+  // Exact 1-D 2-means: try every split position, minimize within-cluster SSE.
+  std::size_t bestSplit = 1;
+  double bestSse = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k < n; ++k) {
+    const double total = sse(0, k) + sse(k, n);
+    if (total < bestSse) {
+      bestSse = total;
+      bestSplit = k;
+    }
+  }
+
+  BimodalityResult result;
+  result.lowerCount = bestSplit;
+  result.upperCount = n - bestSplit;
+  result.lowerMean = (prefix[bestSplit] - prefix[0]) / static_cast<double>(bestSplit);
+  result.upperMean = (prefix[n] - prefix[bestSplit]) / static_cast<double>(n - bestSplit);
+  result.splitPoint = 0.5 * (sorted[bestSplit - 1] + sorted[bestSplit]);
+
+  const double totalSse = sse(0, n);
+  result.varianceExplained = totalSse > 0.0 ? 1.0 - bestSse / totalSse : 0.0;
+
+  // Pooled within-cluster sd (guard clusters of size 1).
+  const auto dfLower = result.lowerCount > 1 ? result.lowerCount - 1 : 0;
+  const auto dfUpper = result.upperCount > 1 ? result.upperCount - 1 : 0;
+  const double df = static_cast<double>(dfLower + dfUpper);
+  const double pooledSd = df > 0.0 ? std::sqrt(bestSse / df) : 0.0;
+  const double gap = result.upperMean - result.lowerMean;
+  result.separation = pooledSd > 0.0
+                          ? gap / pooledSd
+                          : (gap > 0.0 ? std::numeric_limits<double>::infinity() : 0.0);
+  return result;
+}
+
+bool isBimodal(const BimodalityResult& result, std::size_t n, double minModeFraction,
+               double minSeparation, double minVarianceExplained, double minRelativeGap) {
+  BEESIM_ASSERT(n > 0, "sample size must be positive");
+  const double lowFrac = static_cast<double>(result.lowerCount) / static_cast<double>(n);
+  const double highFrac = static_cast<double>(result.upperCount) / static_cast<double>(n);
+  const double midpoint = 0.5 * (result.lowerMean + result.upperMean);
+  const double relativeGap =
+      midpoint != 0.0 ? (result.upperMean - result.lowerMean) / midpoint : 0.0;
+  return lowFrac >= minModeFraction && highFrac >= minModeFraction &&
+         result.separation >= minSeparation &&
+         result.varianceExplained >= minVarianceExplained && relativeGap >= minRelativeGap;
+}
+
+std::string BimodalityResult::describe() const {
+  return "modes " + util::fmt(lowerMean, 1) + " (n=" + std::to_string(lowerCount) + ") / " +
+         util::fmt(upperMean, 1) + " (n=" + std::to_string(upperCount) +
+         "), separation=" + util::fmt(separation, 2);
+}
+
+}  // namespace beesim::stats

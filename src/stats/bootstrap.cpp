@@ -1,0 +1,100 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace beesim::stats {
+
+namespace {
+
+void checkArgs(std::size_t n, double confidence, int resamples) {
+  BEESIM_ASSERT(n >= 1, "bootstrap needs a non-empty sample");
+  BEESIM_ASSERT(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1)");
+  BEESIM_ASSERT(resamples >= 100, "bootstrap needs >= 100 resamples");
+}
+
+double meanOf(std::span<const double> values) {
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+/// Generic percentile bootstrap over a statistic computed on index samples.
+template <typename Statistic>
+BootstrapCi bootstrapCi(std::span<const double> sample, double confidence, int resamples,
+                        std::uint64_t seed, Statistic statistic) {
+  checkArgs(sample.size(), confidence, resamples);
+  util::Rng rng(seed);
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& v : resample) {
+      v = sample[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(sample.size()) - 1))];
+    }
+    stats.push_back(statistic(std::span<const double>(resample)));
+  }
+  const double alpha = 1.0 - confidence;
+  BootstrapCi ci;
+  ci.estimate = statistic(sample);
+  ci.lo = quantile(stats, alpha / 2.0);
+  ci.hi = quantile(stats, 1.0 - alpha / 2.0);
+  ci.confidence = confidence;
+  return ci;
+}
+
+}  // namespace
+
+BootstrapCi bootstrapMeanCi(std::span<const double> sample, double confidence, int resamples,
+                            std::uint64_t seed) {
+  return bootstrapCi(sample, confidence, resamples, seed,
+                     [](std::span<const double> s) { return meanOf(s); });
+}
+
+BootstrapCi bootstrapMedianCi(std::span<const double> sample, double confidence,
+                              int resamples, std::uint64_t seed) {
+  return bootstrapCi(sample, confidence, resamples, seed,
+                     [](std::span<const double> s) { return quantile(s, 0.5); });
+}
+
+BootstrapCi bootstrapMeanDifferenceCi(std::span<const double> a, std::span<const double> b,
+                                      double confidence, int resamples, std::uint64_t seed) {
+  checkArgs(a.size(), confidence, resamples);
+  checkArgs(b.size(), confidence, resamples);
+  util::Rng rng(seed);
+  std::vector<double> ra(a.size());
+  std::vector<double> rb(b.size());
+  std::vector<double> diffs;
+  diffs.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& v : ra) {
+      v = a[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(a.size()) - 1))];
+    }
+    for (auto& v : rb) {
+      v = b[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(b.size()) - 1))];
+    }
+    diffs.push_back(meanOf(ra) - meanOf(rb));
+  }
+  const double alpha = 1.0 - confidence;
+  BootstrapCi ci;
+  ci.estimate = meanOf(a) - meanOf(b);
+  ci.lo = quantile(diffs, alpha / 2.0);
+  ci.hi = quantile(diffs, 1.0 - alpha / 2.0);
+  ci.confidence = confidence;
+  return ci;
+}
+
+std::string BootstrapCi::describe(int decimals) const {
+  return util::fmt(estimate, decimals) + " [" + util::fmt(lo, decimals) + ", " +
+         util::fmt(hi, decimals) + "] @" + util::fmt(100.0 * confidence, 0) + "%";
+}
+
+}  // namespace beesim::stats

@@ -1,0 +1,44 @@
+// Bootstrap confidence intervals.
+//
+// The paper (Lesson #5) warns against summarizing I/O measurements by bare
+// means; when a mean *is* reported, a resampling interval communicates how
+// trustworthy it is without normality assumptions -- bandwidth samples here
+// are bimodal or skewed exactly when it matters.  Percentile bootstrap,
+// deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace beesim::stats {
+
+struct BootstrapCi {
+  double estimate = 0.0;  // statistic on the original sample
+  double lo = 0.0;        // lower percentile bound
+  double hi = 0.0;        // upper percentile bound
+  double confidence = 0.95;
+
+  /// True when `value` falls inside [lo, hi].
+  bool contains(double value) const { return value >= lo && value <= hi; }
+
+  std::string describe(int decimals = 1) const;
+};
+
+/// Percentile-bootstrap CI of the sample mean.
+/// Preconditions: sample non-empty, 0 < confidence < 1, resamples >= 100.
+BootstrapCi bootstrapMeanCi(std::span<const double> sample, double confidence = 0.95,
+                            int resamples = 2000, std::uint64_t seed = 1);
+
+/// Percentile-bootstrap CI of the sample median.
+BootstrapCi bootstrapMedianCi(std::span<const double> sample, double confidence = 0.95,
+                              int resamples = 2000, std::uint64_t seed = 1);
+
+/// Bootstrap CI of the *difference of means* (a - b): spans zero when the
+/// two groups cannot be distinguished -- a resampling counterpart of the
+/// Welch test used for Fig. 13.
+BootstrapCi bootstrapMeanDifferenceCi(std::span<const double> a, std::span<const double> b,
+                                      double confidence = 0.95, int resamples = 2000,
+                                      std::uint64_t seed = 1);
+
+}  // namespace beesim::stats

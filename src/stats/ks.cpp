@@ -1,0 +1,75 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/special.hpp"
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::stats {
+
+std::string KsResult::describe() const {
+  return "D=" + util::fmt(statistic, 4) + " p=" + util::fmt(pValue, 4);
+}
+
+KsResult ksNormalTest(std::span<const double> sample, double mean, double sd) {
+  BEESIM_ASSERT(!sample.empty(), "KS test of empty sample");
+  BEESIM_ASSERT(sd > 0.0, "KS reference sd must be > 0");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double cdf = normalCdf((sorted[i] - mean) / sd);
+    const double empiricalHigh = static_cast<double>(i + 1) / n;
+    const double empiricalLow = static_cast<double>(i) / n;
+    d = std::max({d, std::fabs(empiricalHigh - cdf), std::fabs(cdf - empiricalLow)});
+  }
+
+  KsResult result;
+  result.statistic = d;
+  const double sqrtN = std::sqrt(n);
+  result.pValue = kolmogorovQ((sqrtN + 0.12 + 0.11 / sqrtN) * d);
+  return result;
+}
+
+KsResult ksNormalTestFitted(std::span<const double> sample) {
+  const auto s = summarize(sample);
+  BEESIM_ASSERT(s.sd > 0.0, "fitted KS test needs non-degenerate sample");
+  return ksNormalTest(sample, s.mean, s.sd);
+}
+
+KsResult ksTwoSampleTest(std::span<const double> a, std::span<const double> b) {
+  BEESIM_ASSERT(!a.empty() && !b.empty(), "two-sample KS needs non-empty samples");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  double d = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / static_cast<double>(sa.size());
+    const double fb = static_cast<double>(ib) / static_cast<double>(sb.size());
+    d = std::max(d, std::fabs(fa - fb));
+  }
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  const double effectiveN = std::sqrt(na * nb / (na + nb));
+
+  KsResult result;
+  result.statistic = d;
+  result.pValue = kolmogorovQ((effectiveN + 0.12 + 0.11 / effectiveN) * d);
+  return result;
+}
+
+}  // namespace beesim::stats

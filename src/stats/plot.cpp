@@ -1,0 +1,268 @@
+#include "stats/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::stats {
+
+namespace {
+
+/// Value range across everything that will be drawn, padded a little.
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  double clampFraction(double v) const {
+    if (hi <= lo) return 0.5;
+    return std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  }
+};
+
+Range makeRange(double lo, double hi, bool fromZero) {
+  if (fromZero) lo = std::min(lo, 0.0);
+  if (hi <= lo) hi = lo + 1.0;
+  const double pad = 0.04 * (hi - lo);
+  return Range{fromZero ? lo : lo - pad, hi + pad};
+}
+
+std::string axisLabel(double v) { return util::fmt(v, v < 10 ? 1 : 0); }
+
+/// Column (not absolute offset) of the first '|' in the rendered frame --
+/// the left edge of the plot area.
+std::size_t frameGutterColumn(const std::string& frameText) {
+  const auto pipe = frameText.find('|');
+  BEESIM_ASSERT(pipe != std::string::npos, "frame has no plot edge");
+  const auto lineStart = frameText.rfind('\n', pipe);
+  return lineStart == std::string::npos ? pipe : pipe - lineStart - 1;
+}
+
+/// A width x height character canvas with (0,0) at the top-left.
+class Canvas {
+ public:
+  Canvas(int width, int height) : width_(width), height_(height) {
+    BEESIM_ASSERT(width >= 8 && height >= 4, "plot area too small");
+    rows_.assign(static_cast<std::size_t>(height), std::string(static_cast<std::size_t>(width), ' '));
+  }
+
+  void put(int x, int y, char c, bool force = false) {
+    if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+    char& cell = rows_[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)];
+    if (force) {
+      cell = c;  // data-point glyphs win over interpolation dots
+      return;
+    }
+    if (cell != ' ' && cell != '.') return;  // never overwrite a glyph
+    // Overstrikes of dots become '*' so dense clouds stay readable.
+    cell = (cell == ' ' || cell == c) ? c : '*';
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  const std::string& row(int y) const { return rows_[static_cast<std::size_t>(y)]; }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<std::string> rows_;
+};
+
+/// Render a canvas with a y axis (min/mid/max labels) and an x-axis line.
+std::string frame(const Canvas& canvas, const Range& range, const PlotOptions& options) {
+  const std::string top = axisLabel(range.hi);
+  const std::string mid = axisLabel(0.5 * (range.lo + range.hi));
+  const std::string bottom = axisLabel(range.lo);
+  const std::size_t gutter = std::max({top.size(), mid.size(), bottom.size()}) + 1;
+
+  std::string out;
+  if (!options.yLabel.empty()) {
+    out += std::string(gutter, ' ') + options.yLabel + '\n';
+  }
+  for (int y = 0; y < canvas.height(); ++y) {
+    std::string label;
+    if (y == 0) label = top;
+    else if (y == canvas.height() / 2) label = mid;
+    else if (y == canvas.height() - 1) label = bottom;
+    out += std::string(gutter - label.size() - 1, ' ') + label + " |" + canvas.row(y) + '\n';
+  }
+  out += std::string(gutter, ' ') + '+' +
+         std::string(static_cast<std::size_t>(canvas.width()), '-') + '\n';
+  return out;
+}
+
+int yPixel(double value, const Range& range, int height) {
+  const double fraction = range.clampFraction(value);
+  return static_cast<int>(std::lround((1.0 - fraction) * (height - 1)));
+}
+
+}  // namespace
+
+std::string renderCategoryScatter(std::span<const CategoryScatter> categories,
+                                  const PlotOptions& options) {
+  BEESIM_ASSERT(!categories.empty(), "scatter needs at least one category");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const auto& cat : categories) {
+    for (const double v : cat.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  BEESIM_ASSERT(std::isfinite(lo), "scatter needs at least one value");
+  const Range range = makeRange(lo, hi, options.yFromZero);
+
+  Canvas canvas(options.width, options.height);
+  const int slot = options.width / static_cast<int>(categories.size());
+  BEESIM_ASSERT(slot >= 3, "too many categories for the plot width");
+
+  for (std::size_t c = 0; c < categories.size(); ++c) {
+    const int x0 = static_cast<int>(c) * slot;
+    // Jitter points horizontally within the slot, deterministically, so a
+    // cloud's density is visible.
+    std::size_t i = 0;
+    for (const double v : categories[c].values) {
+      const int x = x0 + 1 + static_cast<int>(i % static_cast<std::size_t>(slot - 2));
+      canvas.put(x, yPixel(v, range, options.height), '.');
+      ++i;
+    }
+  }
+
+  std::string out = frame(canvas, range, options);
+  // x tick labels, centred per slot.
+  const std::size_t gutter = frameGutterColumn(out);
+  std::string ticks(static_cast<std::size_t>(options.width), ' ');
+  for (std::size_t c = 0; c < categories.size(); ++c) {
+    const auto& label = categories[c].label;
+    const int x0 = static_cast<int>(c) * slot + (slot - static_cast<int>(label.size())) / 2;
+    for (std::size_t k = 0; k < label.size(); ++k) {
+      const int x = x0 + static_cast<int>(k);
+      if (x >= 0 && x < options.width) ticks[static_cast<std::size_t>(x)] = label[k];
+    }
+  }
+  out += std::string(gutter + 1, ' ') + ticks + '\n';
+  if (!options.xLabel.empty()) {
+    out += std::string(gutter + 1, ' ') + options.xLabel + '\n';
+  }
+  return out;
+}
+
+std::string renderLines(std::span<const Series> series, const PlotOptions& options) {
+  BEESIM_ASSERT(!series.empty(), "line plot needs at least one series");
+  static constexpr char kGlyphs[] = {'o', '+', 'x', '#', '@', '%', '&', '$'};
+
+  double xLo = std::numeric_limits<double>::infinity();
+  double xHi = -xLo;
+  double yLo = xLo;
+  double yHi = -xLo;
+  for (const auto& s : series) {
+    BEESIM_ASSERT(s.x.size() == s.y.size(), "series x/y length mismatch");
+    BEESIM_ASSERT(!s.x.empty(), "series must not be empty");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      xLo = std::min(xLo, s.x[i]);
+      xHi = std::max(xHi, s.x[i]);
+      yLo = std::min(yLo, s.y[i]);
+      yHi = std::max(yHi, s.y[i]);
+    }
+  }
+  const Range yRange = makeRange(yLo, yHi, options.yFromZero);
+  const Range xRange = makeRange(xLo, xHi, false);
+
+  Canvas canvas(options.width, options.height);
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    const auto& ser = series[s];
+    // Connect consecutive points with interpolated dots, then overdraw the
+    // data points with the series glyph.
+    for (std::size_t i = 0; i + 1 < ser.x.size(); ++i) {
+      const int x1 = static_cast<int>(std::lround(xRange.clampFraction(ser.x[i]) *
+                                                  (options.width - 1)));
+      const int x2 = static_cast<int>(std::lround(xRange.clampFraction(ser.x[i + 1]) *
+                                                  (options.width - 1)));
+      for (int x = x1; x <= x2; ++x) {
+        const double t = x2 > x1 ? static_cast<double>(x - x1) / (x2 - x1) : 0.0;
+        const double y = ser.y[i] + t * (ser.y[i + 1] - ser.y[i]);
+        canvas.put(x, yPixel(y, yRange, options.height), '.');
+      }
+    }
+    for (std::size_t i = 0; i < ser.x.size(); ++i) {
+      const int x = static_cast<int>(std::lround(xRange.clampFraction(ser.x[i]) *
+                                                 (options.width - 1)));
+      canvas.put(x, yPixel(ser.y[i], yRange, options.height), glyph, /*force=*/true);
+    }
+  }
+
+  std::string out = frame(canvas, yRange, options);
+  const std::size_t gutter = frameGutterColumn(out);
+  out += std::string(gutter + 1, ' ') + axisLabel(xLo) +
+         std::string(static_cast<std::size_t>(std::max(
+                         1, options.width - static_cast<int>(axisLabel(xLo).size()) -
+                                static_cast<int>(axisLabel(xHi).size()))),
+                     ' ') +
+         axisLabel(xHi) + '\n';
+  if (!options.xLabel.empty()) out += std::string(gutter + 1, ' ') + options.xLabel + '\n';
+  std::string legend;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    if (s) legend += "   ";
+    legend += std::string(1, kGlyphs[s % sizeof(kGlyphs)]) + " " + series[s].name;
+  }
+  out += std::string(gutter + 1, ' ') + legend + '\n';
+  return out;
+}
+
+std::string renderBoxes(std::span<const LabelledBox> boxes, const PlotOptions& options) {
+  BEESIM_ASSERT(!boxes.empty(), "box chart needs at least one box");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  std::size_t labelWidth = 0;
+  for (const auto& b : boxes) {
+    lo = std::min({lo, b.box.whiskerLow, b.box.outliers.empty() ? b.box.whiskerLow
+                                                                : b.box.outliers.front()});
+    hi = std::max({hi, b.box.whiskerHigh, b.box.outliers.empty() ? b.box.whiskerHigh
+                                                                 : b.box.outliers.back()});
+    labelWidth = std::max(labelWidth, b.label.size());
+  }
+  const Range range = makeRange(lo, hi, options.yFromZero);
+
+  auto xOf = [&](double v) {
+    return static_cast<int>(std::lround(range.clampFraction(v) * (options.width - 1)));
+  };
+
+  std::string out;
+  for (const auto& b : boxes) {
+    std::string row(static_cast<std::size_t>(options.width), ' ');
+    auto set = [&](int x, char c) {
+      if (x >= 0 && x < options.width) row[static_cast<std::size_t>(x)] = c;
+    };
+    const int wl = xOf(b.box.whiskerLow);
+    const int q1 = xOf(b.box.q1);
+    const int med = xOf(b.box.median);
+    const int q3 = xOf(b.box.q3);
+    const int wh = xOf(b.box.whiskerHigh);
+    for (int x = wl; x <= q1; ++x) set(x, '-');
+    for (int x = q1; x <= q3; ++x) set(x, '=');
+    set(wl, '|');
+    set(wh, '|');
+    for (int x = q3; x <= wh; ++x) {
+      if (row[static_cast<std::size_t>(std::clamp(x, 0, options.width - 1))] == ' ') set(x, '-');
+    }
+    set(q1, '[');
+    set(q3, ']');
+    set(med, 'M');
+    for (const double v : b.box.outliers) set(xOf(v), 'o');
+
+    out += b.label + std::string(labelWidth - b.label.size(), ' ') + " " + row + '\n';
+  }
+  out += std::string(labelWidth + 1, ' ') + axisLabel(range.lo) +
+         std::string(static_cast<std::size_t>(std::max(
+                         1, options.width - static_cast<int>(axisLabel(range.lo).size()) -
+                                static_cast<int>(axisLabel(range.hi).size()))),
+                     ' ') +
+         axisLabel(range.hi) + '\n';
+  if (!options.xLabel.empty()) out += std::string(labelWidth + 1, ' ') + options.xLabel + '\n';
+  return out;
+}
+
+}  // namespace beesim::stats

@@ -1,0 +1,59 @@
+// Terminal plots: scatter, line-with-points and box plots rendered as
+// fixed-width character art.
+//
+// The bench binaries regenerate the paper's *figures*; a table of numbers
+// loses the shapes the paper argues from (the bimodal clouds of Fig. 6a,
+// the plateaus of Fig. 4, the staircase of Fig. 8).  These renderers put
+// the shape back into `bench_output.txt` with zero dependencies.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace beesim::stats {
+
+struct PlotOptions {
+  int width = 72;    // plot area columns (excluding axis labels)
+  int height = 16;   // plot area rows
+  bool yFromZero = false;
+  std::string xLabel;
+  std::string yLabel;
+};
+
+/// Scatter plot of y-value clouds per labelled x category (the Fig. 6
+/// shape: one column of dots per stripe count).  Category order follows
+/// the input vector.
+struct CategoryScatter {
+  std::string label;            // x tick, e.g. "4"
+  std::vector<double> values;   // the individual measurements
+};
+
+std::string renderCategoryScatter(std::span<const CategoryScatter> categories,
+                                  const PlotOptions& options = {});
+
+/// Line plot with point markers of one or more named series over shared
+/// numeric x positions (the Fig. 4/11 shape).  Series are marked with
+/// distinct glyphs, listed in the legend.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+std::string renderLines(std::span<const Series> series, const PlotOptions& options = {});
+
+/// Horizontal box-and-whisker chart, one row per labelled group (the
+/// Fig. 8/10 shape).  Boxes are drawn on a shared value axis:
+///   |----[  Q1 |median| Q3  ]----|  plus 'o' outliers.
+struct LabelledBox {
+  std::string label;
+  BoxPlot box;
+};
+
+std::string renderBoxes(std::span<const LabelledBox> boxes, const PlotOptions& options = {});
+
+}  // namespace beesim::stats

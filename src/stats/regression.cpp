@@ -1,0 +1,46 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::stats {
+
+LinearFit linearFit(std::span<const double> x, std::span<const double> y) {
+  BEESIM_ASSERT(x.size() == y.size(), "x and y must have equal length");
+  BEESIM_ASSERT(x.size() >= 2, "linear fit needs >= 2 points");
+  const auto n = static_cast<double>(x.size());
+
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  BEESIM_ASSERT(sxx > 0.0, "linear fit needs x variance");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+std::string LinearFit::describe() const {
+  return "y = " + util::fmt(intercept, 1) + " + " + util::fmt(slope, 1) + "x (R2=" +
+         util::fmt(r2, 3) + ")";
+}
+
+}  // namespace beesim::stats

@@ -1,0 +1,25 @@
+// Ordinary least squares on (x, y) pairs.
+//
+// Used to quantify Fig. 6b's "bandwidth increases almost linearly with the
+// number of OSTs": the bench fits bandwidth ~ stripeCount and reports slope
+// and R^2.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace beesim::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+
+  double predict(double x) const { return intercept + slope * x; }
+  std::string describe() const;
+};
+
+/// Preconditions: x.size() == y.size() >= 2 and x has non-zero variance.
+LinearFit linearFit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace beesim::stats

@@ -1,0 +1,37 @@
+#include "stats/ttest.hpp"
+
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::stats {
+
+WelchResult welchTTest(std::span<const double> a, std::span<const double> b) {
+  BEESIM_ASSERT(a.size() >= 2 && b.size() >= 2, "Welch test needs >= 2 values per sample");
+  const auto sa = summarize(a);
+  const auto sb = summarize(b);
+  const double va = sa.sd * sa.sd / static_cast<double>(sa.n);
+  const double vb = sb.sd * sb.sd / static_cast<double>(sb.n);
+  BEESIM_ASSERT(va + vb > 0.0, "Welch test needs non-zero variance");
+
+  WelchResult result;
+  result.meanA = sa.mean;
+  result.meanB = sb.mean;
+  result.meanDifference = sa.mean - sb.mean;
+  result.t = result.meanDifference / std::sqrt(va + vb);
+  result.df = (va + vb) * (va + vb) /
+              (va * va / static_cast<double>(sa.n - 1) +
+               vb * vb / static_cast<double>(sb.n - 1));
+  result.pValue = studentTTwoSidedP(result.t, result.df);
+  return result;
+}
+
+std::string WelchResult::describe() const {
+  return "t=" + util::fmt(t, 4) + " df=" + util::fmt(df, 1) + " p=" + util::fmt(pValue, 4) +
+         " (meanA=" + util::fmt(meanA, 1) + ", meanB=" + util::fmt(meanB, 1) + ")";
+}
+
+}  // namespace beesim::stats

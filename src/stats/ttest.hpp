@@ -1,0 +1,33 @@
+// Welch's two-sample t-test (unequal variances).
+//
+// Section IV-D of the paper applies exactly this test ("A Welch two-sample
+// t-test ... assuming different variances ... resulted in a p-value of
+// 0.9031") to conclude that sharing all four OSTs does not significantly
+// change application bandwidth.  bench/fig13_sharing_ttest repeats the
+// analysis on simulated data.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace beesim::stats {
+
+struct WelchResult {
+  double t = 0.0;               // test statistic
+  double df = 0.0;              // Welch-Satterthwaite degrees of freedom
+  double pValue = 1.0;          // two-sided
+  double meanA = 0.0;
+  double meanB = 0.0;
+  double meanDifference = 0.0;  // meanA - meanB
+
+  /// True when the null hypothesis (equal means) is rejected at `alpha`.
+  bool significantAt(double alpha) const { return pValue < alpha; }
+
+  std::string describe() const;
+};
+
+/// Preconditions: both samples have >= 2 values and at least one sample has
+/// positive variance.
+WelchResult welchTTest(std::span<const double> a, std::span<const double> b);
+
+}  // namespace beesim::stats

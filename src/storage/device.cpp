@@ -1,0 +1,82 @@
+#include "storage/device.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace beesim::storage {
+
+namespace {
+
+util::MiBps rampRate(util::MiBps peak, double qHalf, double queueDepth) {
+  BEESIM_ASSERT(queueDepth >= 0.0, "queue depth must be >= 0");
+  if (queueDepth <= 0.0) return 0.0;
+  if (qHalf <= 0.0) return peak;
+  return peak * queueDepth / (queueDepth + qHalf);
+}
+
+}  // namespace
+
+HddRaidModel::HddRaidModel(const HddRaidParams& params) : params_(params) {
+  BEESIM_ASSERT(params.disks > 0, "array needs at least one disk");
+  BEESIM_ASSERT(params.parityDisks >= 0 && params.parityDisks < params.disks,
+                "parity disks must leave at least one data disk");
+  BEESIM_ASSERT(params.perDiskStream > 0.0, "per-disk rate must be positive");
+  BEESIM_ASSERT(params.writeEfficiency > 0.0 && params.writeEfficiency <= 1.0,
+                "write efficiency must be in (0, 1]");
+  BEESIM_ASSERT(params.cacheFraction >= 0.0 && params.cacheFraction <= 1.0,
+                "cache fraction must be in [0, 1]");
+  BEESIM_ASSERT(params.cacheQHalf >= 0.0, "cache qHalf must be >= 0");
+  BEESIM_ASSERT(params.streamQHalf >= 0.0, "stream qHalf must be >= 0");
+  BEESIM_ASSERT(params.streamExponent >= 1.0, "stream exponent must be >= 1");
+  const int dataDisks = params.disks - params.parityDisks;
+  peak_ = dataDisks * params.perDiskStream * params.writeEfficiency;
+}
+
+util::MiBps HddRaidModel::serviceRate(double queueDepth) const {
+  BEESIM_ASSERT(queueDepth >= 0.0, "queue depth must be >= 0");
+  if (queueDepth <= 0.0) return 0.0;
+  // Controller/cache path: ordinary saturating ramp, half share at cacheQHalf.
+  const double cache =
+      params_.cacheQHalf <= 0.0 ? 1.0 : queueDepth / (queueDepth + params_.cacheQHalf);
+  // Spindle streaming path: steep Hill ramp, half share at streamQHalf.
+  const double qe = std::pow(queueDepth, params_.streamExponent);
+  const double sqe = std::pow(params_.streamQHalf, params_.streamExponent);
+  const double stream = sqe <= 0.0 ? 1.0 : qe / (qe + sqe);
+  return peak_ * (params_.cacheFraction * cache + (1.0 - params_.cacheFraction) * stream);
+}
+
+std::string HddRaidModel::describe() const {
+  return "RAID HDD array: " + std::to_string(params_.disks) + " disks (" +
+         std::to_string(params_.parityDisks) + " parity), peak " +
+         util::formatBandwidth(peak_) + ", cache " + util::fmt(params_.cacheFraction, 2) +
+         "@qc" + util::fmt(params_.cacheQHalf, 1) + ", stream qs " +
+         util::fmt(params_.streamQHalf, 1);
+}
+
+SsdModel::SsdModel(const SsdParams& params) : params_(params) {
+  BEESIM_ASSERT(params.peak > 0.0, "SSD peak must be positive");
+}
+
+util::MiBps SsdModel::serviceRate(double queueDepth) const {
+  return rampRate(params_.peak, params_.qHalf, queueDepth);
+}
+
+std::string SsdModel::describe() const {
+  return "SSD target: peak " + util::formatBandwidth(params_.peak);
+}
+
+ConstantDeviceModel::ConstantDeviceModel(util::MiBps rate) : rate_(rate) {
+  BEESIM_ASSERT(rate >= 0.0, "rate must be >= 0");
+}
+
+util::MiBps ConstantDeviceModel::serviceRate(double queueDepth) const {
+  return queueDepth > 0.0 ? rate_ : 0.0;
+}
+
+std::string ConstantDeviceModel::describe() const {
+  return "constant-rate device: " + util::formatBandwidth(rate_);
+}
+
+}  // namespace beesim::storage

@@ -1,0 +1,48 @@
+// A Catalyst-like system: the platform of Chowdhury et al. (ICPP'19), whose
+// conclusions the paper contradicts.
+//
+// Catalyst (as described in the paper's related-work discussion) exposes 24
+// storage targets on 12 storage servers behind a fast network.  Chowdhury et
+// al. evaluated the stripe count from a *single compute node* and concluded
+// its impact was negligible, recommending 4 targets per application.  The
+// paper's Lesson #1 explains why: with one node the client stack is the
+// bottleneck, hiding the target-count effect.  `bench/tab_chowdhury_baseline`
+// reproduces exactly that observation on this topology.
+#pragma once
+
+#include <cstddef>
+
+#include "topology/cluster.hpp"
+
+namespace beesim::topo {
+
+struct CatalystCalibration {
+  std::size_t storageHosts = 12;
+  std::size_t targetsPerHost = 2;
+  /// IB network: fast enough that storage dominates.
+  util::MiBps serverLink = 5500.0;
+  util::MiBps nodeLink = 5500.0;
+  /// Single-node client ceiling; dominates single-node measurements (this
+  /// is why Chowdhury et al. saw no stripe-count effect from one node).
+  util::MiBps clientCap = 900.0;
+  /// Per-OST device (Catalyst used fewer disks per target than PlaFRIM).
+  util::MiBps perDiskStream = 160.0;
+  int disksPerTarget = 10;
+  int parityDisks = 2;
+  double writeEfficiency = 0.9;
+  /// Two-component OST curve (see storage/device.hpp).  Catalyst-era
+  /// targets serve shallow queues well (large controller caches), so the
+  /// cache path dominates.
+  double targetCacheFraction = 0.9;
+  double targetCacheQHalf = 0.5;
+  double targetStreamQHalf = 33.0;
+  double targetStreamExponent = 4.0;
+  util::MiBps ossServiceCap = 2400.0;
+  double ostSigmaLog = 0.05;
+};
+
+/// Build the Catalyst-like cluster with `computeNodes` clients.
+ClusterConfig makeCatalystLike(std::size_t computeNodes,
+                               const CatalystCalibration& calibration = {});
+
+}  // namespace beesim::topo

@@ -1,0 +1,122 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace beesim::util {
+
+CsvWriter::CsvWriter(const std::filesystem::path& path, const std::vector<std::string>& header)
+    : path_(path), columns_(header.size()) {
+  BEESIM_ASSERT(!header.empty(), "CSV header must have at least one column");
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  out_.open(path);
+  if (!out_) throw IoError("cannot open CSV file for writing: " + path.string());
+  std::string line;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) line += ',';
+    line += escape(header[i]);
+  }
+  out_ << line << '\n';
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& fields) {
+  BEESIM_ASSERT(fields.size() == columns_, "CSV row width differs from header");
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += ',';
+    line += escape(fields[i]);
+  }
+  out_ << line << '\n';
+  if (!out_) throw IoError("failed writing CSV row to " + path_.string());
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needsQuote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuote) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::size_t CsvData::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw IoError("CSV column not found: " + name);
+}
+
+namespace {
+
+/// Splits one logical CSV record that is already known to end at a record
+/// boundary.  Handles RFC 4180 quoting.
+std::vector<std::string> splitRecord(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool inQuotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (inQuotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          inQuotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      inQuotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // ignore
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace
+
+CsvData parseCsv(const std::string& text) {
+  CsvData data;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = splitRecord(line);
+    if (first) {
+      data.header = std::move(fields);
+      first = false;
+    } else {
+      data.rows.push_back(std::move(fields));
+    }
+  }
+  return data;
+}
+
+CsvData readCsv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open CSV file for reading: " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseCsv(buffer.str());
+}
+
+}  // namespace beesim::util

@@ -1,0 +1,56 @@
+// Error handling primitives for beesim.
+//
+// Contract violations (programming errors) use BEESIM_ASSERT, which throws
+// ContractError so tests can exercise the contracts.  Recoverable problems
+// (bad user configuration, malformed input) throw ConfigError / IoError.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace beesim::util {
+
+/// Base class of all beesim exceptions.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A precondition, postcondition or invariant of the library was violated.
+class ContractError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// User-provided configuration is invalid (bad topology, bad IOR options...).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Failure reading or writing external data (CSV files, result stores).
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] inline void contractFailure(
+    const char* expr, const std::string& message,
+    const std::source_location loc = std::source_location::current()) {
+  throw ContractError(std::string(loc.file_name()) + ":" +
+                      std::to_string(loc.line()) + ": contract violated: (" +
+                      expr + ") " + message);
+}
+
+}  // namespace beesim::util
+
+/// Assert a contract; throws beesim::util::ContractError when violated.
+/// Always enabled (simulation correctness depends on these checks and their
+/// cost is negligible next to the solver).
+#define BEESIM_ASSERT(expr, message)                        \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::beesim::util::contractFailure(#expr, (message));    \
+    }                                                       \
+  } while (false)

@@ -1,0 +1,373 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace beesim::util {
+
+JsonValue::JsonValue(JsonArray a)
+    : kind_(Kind::kArray), array_(std::make_shared<JsonArray>(std::move(a))) {}
+
+JsonValue::JsonValue(JsonObject o)
+    : kind_(Kind::kObject), object_(std::make_shared<JsonObject>(std::move(o))) {}
+
+namespace {
+[[noreturn]] void kindError(const char* wanted, JsonValue::Kind got) {
+  static const char* names[] = {"null", "bool", "number", "string", "array", "object"};
+  throw ConfigError(std::string("JSON: expected ") + wanted + ", found " +
+                    names[static_cast<int>(got)]);
+}
+}  // namespace
+
+bool JsonValue::asBool() const {
+  if (!isBool()) kindError("bool", kind_);
+  return bool_;
+}
+
+double JsonValue::asNumber() const {
+  if (!isNumber()) kindError("number", kind_);
+  return number_;
+}
+
+const std::string& JsonValue::asString() const {
+  if (!isString()) kindError("string", kind_);
+  return string_;
+}
+
+const JsonArray& JsonValue::asArray() const {
+  if (!isArray()) kindError("array", kind_);
+  return *array_;
+}
+
+const JsonObject& JsonValue::asObject() const {
+  if (!isObject()) kindError("object", kind_);
+  return *object_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& obj = asObject();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw ConfigError("JSON: missing field '" + key + "'");
+  return it->second;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return isObject() && object_->count(key) > 0;
+}
+
+double JsonValue::numberOr(const std::string& key, double fallback) const {
+  return has(key) ? at(key).asNumber() : fallback;
+}
+
+std::string JsonValue::stringOr(const std::string& key, const std::string& fallback) const {
+  return has(key) ? at(key).asString() : fallback;
+}
+
+bool JsonValue::boolOr(const std::string& key, bool fallback) const {
+  return has(key) ? at(key).asBool() : fallback;
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case JsonValue::Kind::kNull: return true;
+    case JsonValue::Kind::kBool: return a.bool_ == b.bool_;
+    case JsonValue::Kind::kNumber: return a.number_ == b.number_;
+    case JsonValue::Kind::kString: return a.string_ == b.string_;
+    case JsonValue::Kind::kArray: return *a.array_ == *b.array_;
+    case JsonValue::Kind::kObject: return *a.object_ == *b.object_;
+  }
+  return false;
+}
+
+namespace {
+
+void escapeString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dumpNumber(std::string& out, double n) {
+  if (n == std::floor(n) && std::fabs(n) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", n);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", n);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void JsonValue::dumpTo(std::string& out, int indent, int depth) const {
+  const auto pad = [&](int d) {
+    if (indent > 0) out += '\n' + std::string(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: dumpNumber(out, number_); break;
+    case Kind::kString: escapeString(out, string_); break;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : *array_) {
+        if (!first) out += ',';
+        first = false;
+        pad(depth + 1);
+        v.dumpTo(out, indent, depth + 1);
+      }
+      if (!array_->empty()) pad(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, v] : *object_) {
+        if (!first) out += ',';
+        first = false;
+        pad(depth + 1);
+        escapeString(out, key);
+        out += indent > 0 ? ": " : ":";
+        v.dumpTo(out, indent, depth + 1);
+      }
+      if (!object_->empty()) pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parseDocument() {
+    skipWhitespace();
+    JsonValue value = parseValue();
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw ConfigError("JSON: " + message + " (line " + std::to_string(line) + ", column " +
+                      std::to_string(column) + ")");
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void expectKeyword(const char* keyword) {
+    for (const char* k = keyword; *k; ++k) {
+      if (pos_ >= text_.size() || text_[pos_] != *k) fail(std::string("invalid literal"));
+      ++pos_;
+    }
+  }
+
+  JsonValue parseValue() {
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return JsonValue(parseString());
+      case 't': expectKeyword("true"); return JsonValue(true);
+      case 'f': expectKeyword("false"); return JsonValue(false);
+      case 'n': expectKeyword("null"); return JsonValue(nullptr);
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '.' || text_[pos_] == 'e' ||
+                                   text_[pos_] == 'E' || text_[pos_] == '+' ||
+                                   text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid value");
+    std::size_t consumed = 0;
+    double value = 0.0;
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      value = std::stod(token, &consumed);
+    } catch (const std::exception&) {
+      fail("invalid number '" + token + "'");
+    }
+    if (consumed != token.size()) fail("invalid number '" + token + "'");
+    return JsonValue(value);
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            // Basic BMP escape; encode as UTF-8.
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid \\u escape");
+            }
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("invalid escape sequence");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonArray array;
+    skipWhitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(array));
+    }
+    while (true) {
+      skipWhitespace();
+      array.push_back(parseValue());
+      skipWhitespace();
+      const char c = next();
+      if (c == ']') return JsonValue(std::move(array));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonObject object;
+    skipWhitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(object));
+    }
+    while (true) {
+      skipWhitespace();
+      std::string key = parseString();
+      skipWhitespace();
+      expect(':');
+      skipWhitespace();
+      object.emplace(std::move(key), parseValue());
+      skipWhitespace();
+      const char c = next();
+      if (c == '}') return JsonValue(std::move(object));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parseJson(const std::string& text) { return Parser(text).parseDocument(); }
+
+}  // namespace beesim::util

@@ -1,0 +1,80 @@
+// Minimal JSON: parse and serialize.
+//
+// Used for the cluster description files (topology/loader.hpp) and the CLI,
+// so the library keeps zero external dependencies.  Supports the full JSON
+// value model; numbers are doubles (adequate for configuration data).
+// Parse errors carry line/column positions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace beesim::util {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps keys ordered -> deterministic serialization.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(std::nullptr_t) : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}
+  JsonValue(int n) : kind_(Kind::kNumber), number_(n) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(JsonArray a);
+  JsonValue(JsonObject o);
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::kNull; }
+  bool isBool() const { return kind_ == Kind::kBool; }
+  bool isNumber() const { return kind_ == Kind::kNumber; }
+  bool isString() const { return kind_ == Kind::kString; }
+  bool isArray() const { return kind_ == Kind::kArray; }
+  bool isObject() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw ConfigError on kind mismatch.
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+  const JsonArray& asArray() const;
+  const JsonObject& asObject() const;
+
+  /// Object field access.  `at` throws ConfigError when missing; the
+  /// `*Or` variants return the fallback when the key is absent (but still
+  /// throw on kind mismatch, so typos in values do not pass silently).
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+  double numberOr(const std::string& key, double fallback) const;
+  std::string stringOr(const std::string& key, const std::string& fallback) const;
+  bool boolOr(const std::string& key, bool fallback) const;
+
+  /// Serialize; `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b);
+
+ private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;    // shared_ptr keeps JsonValue copyable
+  std::shared_ptr<JsonObject> object_;  // and cheap to pass around
+};
+
+/// Parse a JSON document.  Throws ConfigError with "line L, column C" on
+/// malformed input.  Trailing garbage after the document is an error.
+JsonValue parseJson(const std::string& text);
+
+}  // namespace beesim::util

@@ -1,0 +1,47 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace beesim::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void initLogLevelFromEnv() {
+  const char* env = std::getenv("BEESIM_LOG");
+  if (env == nullptr) return;
+  const std::string value(env);
+  if (value == "debug") setLogLevel(LogLevel::kDebug);
+  else if (value == "info") setLogLevel(LogLevel::kInfo);
+  else if (value == "warn") setLogLevel(LogLevel::kWarn);
+  else if (value == "error") setLogLevel(LogLevel::kError);
+  else if (value == "off") setLogLevel(LogLevel::kOff);
+}
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[beesim %s] %s\n", levelName(level), message.c_str());
+}
+
+}  // namespace beesim::util

@@ -1,0 +1,54 @@
+// Tiny leveled logger.  The simulator is a library, so logging is off by
+// default and controlled programmatically (or via BEESIM_LOG=debug|info|...).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace beesim::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Reads BEESIM_LOG from the environment once ("debug", "info", "warn",
+/// "error", "off"); unknown or missing values leave the level unchanged.
+void initLogLevelFromEnv();
+
+/// Emit a message (thread-safe, single write to stderr).
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace beesim::util
+
+#define BEESIM_LOG(level)                                            \
+  if (static_cast<int>(level) < static_cast<int>(::beesim::util::logLevel())) \
+    ;                                                                \
+  else                                                               \
+    ::beesim::util::detail::LogLine(level)
+
+#define BEESIM_DEBUG() BEESIM_LOG(::beesim::util::LogLevel::kDebug)
+#define BEESIM_INFO() BEESIM_LOG(::beesim::util::LogLevel::kInfo)
+#define BEESIM_WARN() BEESIM_LOG(::beesim::util::LogLevel::kWarn)
+#define BEESIM_ERROR() BEESIM_LOG(::beesim::util::LogLevel::kError)

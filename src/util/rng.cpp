@@ -1,0 +1,126 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace beesim::util {
+
+namespace {
+
+/// SplitMix64: expands a 64-bit seed into well-distributed state words.
+std::uint64_t splitMix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitMix64(sm);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng::Rng(std::uint64_t seed) noexcept : engine_(seed), seed_(seed) {}
+
+Rng Rng::split() noexcept {
+  // Mix the parent's seed with a per-parent counter so sibling streams are
+  // decorrelated; drawing from the parent engine ties the child to the
+  // parent's consumption position, which we deliberately avoid.
+  ++splitCounter_;
+  std::uint64_t mix = seed_ ^ (0xA0761D6478BD642FULL * splitCounter_);
+  return Rng(splitMix64(mix));
+}
+
+Rng Rng::splitNamed(std::uint64_t tag) const noexcept {
+  std::uint64_t mix = seed_ ^ (0xE7037ED1A0B428DBULL * (tag + 1));
+  return Rng(splitMix64(mix));
+}
+
+double Rng::uniform01() noexcept {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(engine_());  // full range
+  // Rejection sampling for an unbiased draw.
+  const std::uint64_t limit = (~std::uint64_t{0}) - ((~std::uint64_t{0}) % range) - 1;
+  std::uint64_t draw = engine_();
+  while (draw > limit) draw = engine_();
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::normal() noexcept {
+  if (hasSpareNormal_) {
+    hasSpareNormal_ = false;
+    return spareNormal_;
+  }
+  // Box-Muller; avoid log(0).
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spareNormal_ = radius * std::sin(angle);
+  hasSpareNormal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double sigma) noexcept {
+  return mean + sigma * normal();
+}
+
+double Rng::logNormalMedian(double median, double sigmaLog) noexcept {
+  return median * std::exp(sigmaLog * normal());
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+double Rng::exponential(double mean) noexcept {
+  double u = uniform01();
+  while (u <= 0.0) u = uniform01();
+  return -mean * std::log(u);
+}
+
+std::vector<std::size_t> Rng::sampleWithoutReplacement(std::size_t n, std::size_t k) {
+  BEESIM_ASSERT(k <= n, "cannot sample more elements than the population has");
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates: first k positions are the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniformInt(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    using std::swap;
+    swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace beesim::util

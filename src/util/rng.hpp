@@ -1,0 +1,105 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic decision in beesim (target choice, device variability,
+// protocol waits, shuffles) flows from an Rng seeded at the experiment root.
+// Rng::split() derives an independent child stream, so adding randomness to
+// one component never perturbs the draws seen by another -- a property the
+// paper's methodology (randomized blocks, 100 repetitions) relies on for
+// reproducible experiment plans.
+//
+// Engine: xoshiro256** (public-domain, Blackman & Vigna) seeded through
+// SplitMix64, both implemented here so the library has zero dependencies and
+// identical streams on every platform (std:: distributions are not portable).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace beesim::util {
+
+/// xoshiro256** engine with SplitMix64 seeding.  Satisfies
+/// std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// High-level deterministic random source with portable distributions.
+class Rng {
+ public:
+  /// Root stream for a given seed.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Derive an independent child stream.  Children derived in the same order
+  /// from the same parent are identical across runs.
+  Rng split() noexcept;
+
+  /// Named child stream: independent of split() order, keyed by `tag`.
+  /// Useful when components are created in data-dependent order.
+  Rng splitNamed(std::uint64_t tag) const noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform in [lo, hi).  Precondition: lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (portable across platforms).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma) noexcept;
+
+  /// Log-normal such that the *median* of the distribution is `median` and
+  /// log-space standard deviation is `sigmaLog`.  Device performance
+  /// variability in modern storage stacks is well described by log-normal
+  /// factors (Cao et al., FAST'17 -- cited by the paper as the source of
+  /// Scenario-2 variance).
+  double logNormalMedian(double median, double sigmaLog) noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) noexcept;
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Fisher-Yates shuffle (uses this stream; portable).
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) uniformly (order randomized).
+  /// Precondition: k <= n.
+  std::vector<std::size_t> sampleWithoutReplacement(std::size_t n, std::size_t k);
+
+  /// Raw 64 random bits.
+  std::uint64_t bits() noexcept { return engine_(); }
+
+ private:
+  Xoshiro256 engine_;
+  std::uint64_t seed_;          // remembered for splitNamed()
+  std::uint64_t splitCounter_ = 0;
+  bool hasSpareNormal_ = false;
+  double spareNormal_ = 0.0;
+};
+
+}  // namespace beesim::util

@@ -1,0 +1,24 @@
+// Small string helpers shared by CLIs, CSV naming and bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace beesim::util {
+
+/// Split on a delimiter; never returns an empty vector ("" -> {""}).
+std::vector<std::string> split(const std::string& text, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& text);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `text` begins with `prefix`.
+bool startsWith(const std::string& text, const std::string& prefix);
+
+/// Lower-case ASCII copy.
+std::string toLower(std::string text);
+
+}  // namespace beesim::util

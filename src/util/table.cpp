@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace beesim::util {
+
+TableWriter::TableWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  BEESIM_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void TableWriter::addRow(std::vector<std::string> fields) {
+  BEESIM_ASSERT(fields.size() == header_.size(), "table row width differs from header");
+  rows_.push_back(std::move(fields));
+}
+
+namespace {
+
+bool looksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+std::string TableWriter::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) line += " | ";
+      const auto pad = width[c] - row[c].size();
+      if (looksNumeric(row[c])) {
+        line += std::string(pad, ' ') + row[c];
+      } else {
+        line += row[c] + std::string(pad, ' ');
+      }
+    }
+    return line;
+  };
+
+  std::string out = renderRow(header_);
+  out += '\n';
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 3 : 0);
+  out += std::string(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += renderRow(row);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace beesim::util

@@ -1,0 +1,30 @@
+// Aligned console tables.  Every bench binary prints the rows/series of the
+// paper figure it regenerates; this helper keeps that output readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace beesim::util {
+
+/// Collects rows and renders them as an aligned, pipe-separated table.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> fields);
+
+  /// Render with a header underline.  Numeric-looking cells right-align.
+  std::string render() const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.1f" style) without iostream noise.
+std::string fmt(double value, int decimals = 1);
+
+}  // namespace beesim::util

@@ -1,0 +1,147 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/checks.hpp"
+#include "core/sharing.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace beesim::core {
+namespace {
+
+Allocation alloc(std::size_t a, std::size_t b) {
+  return Allocation(std::vector<std::size_t>{a, b});
+}
+
+TEST(Advisor, RecommendsMaxCountOnScenario1LikeData) {
+  // Synthetic Scenario-1 measurements: count 4 is bimodal/allocation-bound,
+  // count 8 always hits the peak -- the advisor must prefer 8 (Lesson #4).
+  StripeCountAdvisor advisor;
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    advisor.add(4, alloc(1, 3), rng.normal(1460.0, 40.0));
+    advisor.add(2, alloc(0, 2), rng.normal(1100.0, 40.0));
+    advisor.add(2, alloc(1, 1), rng.normal(2200.0, 40.0));
+    advisor.add(8, alloc(4, 4), rng.normal(2200.0, 40.0));
+  }
+  const auto rec = advisor.recommend();
+  EXPECT_EQ(rec.stripeCount, 8u);
+  ASSERT_EQ(rec.assessments.size(), 3u);
+
+  // Count 2 is flagged allocation-sensitive; count 8 is not.
+  const auto& count2 = rec.assessments[0];
+  EXPECT_EQ(count2.stripeCount, 2u);
+  EXPECT_TRUE(count2.allocationSensitive);
+  const auto& count8 = rec.assessments[2];
+  EXPECT_FALSE(count8.allocationSensitive);
+  EXPECT_NE(rec.rationale.find("8"), std::string::npos);
+}
+
+TEST(Advisor, RecommendsMaxCountOnScenario2LikeData) {
+  // Scenario 2: bandwidth grows with count; max wins on every term.
+  StripeCountAdvisor advisor;
+  util::Rng rng(2);
+  const double means[] = {1764.0, 2900.0, 4200.0, 5500.0, 6000.0, 7000.0, 7600.0, 8064.0};
+  for (int i = 0; i < 30; ++i) {
+    for (unsigned count = 1; count <= 8; ++count) {
+      const auto perHost = count / 2;
+      advisor.add(count, alloc(perHost, count - perHost),
+                  rng.normal(means[count - 1], 0.08 * means[count - 1]));
+    }
+  }
+  EXPECT_EQ(advisor.recommend().stripeCount, 8u);
+}
+
+TEST(Advisor, WorstCaseWeightMatters) {
+  // A count with a great mean but terrible worst allocation loses against a
+  // slightly slower but placement-proof count.
+  AdvisorOptions options;
+  options.worstCaseWeight = 0.9;
+  StripeCountAdvisor advisor(options);
+  util::Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    // count 4: half the runs at 2200 ((2,2)), half at 1100 ((0,4)).
+    advisor.add(4, alloc(2, 2), rng.normal(2200.0, 30.0));
+    advisor.add(4, alloc(0, 4), rng.normal(1100.0, 30.0));
+    // count 8: always 2000.
+    advisor.add(8, alloc(4, 4), rng.normal(2000.0, 30.0));
+  }
+  EXPECT_EQ(advisor.recommend().stripeCount, 8u);
+}
+
+TEST(Advisor, EmptyAdvisorThrows) {
+  StripeCountAdvisor advisor;
+  EXPECT_THROW(advisor.recommend(), util::ContractError);
+  EXPECT_THROW(advisor.add(0, alloc(1, 1), 100.0), util::ContractError);
+}
+
+TEST(Advisor, InvalidOptionsThrow) {
+  AdvisorOptions options;
+  options.worstCaseWeight = 1.5;
+  EXPECT_THROW(StripeCountAdvisor{options}, util::ContractError);
+  options = AdvisorOptions{};
+  options.cvPenalty = -1.0;
+  EXPECT_THROW(StripeCountAdvisor{options}, util::ContractError);
+}
+
+TEST(Sharing, EqualGroupsAreHarmless) {
+  SharingImpactAnalyzer analyzer;
+  util::Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    analyzer.addShared(rng.normal(5000.0, 300.0));
+    analyzer.addDisjoint(rng.normal(5000.0, 300.0));
+  }
+  const auto verdict = analyzer.analyze();
+  EXPECT_TRUE(verdict.sharingHarmless);
+  EXPECT_GT(verdict.welch.pValue, 0.05);
+  EXPECT_NE(verdict.summary.find("no significant impact"), std::string::npos);
+}
+
+TEST(Sharing, ShiftedGroupsAreFlagged) {
+  SharingImpactAnalyzer analyzer;
+  util::Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    analyzer.addShared(rng.normal(4000.0, 200.0));
+    analyzer.addDisjoint(rng.normal(5000.0, 200.0));
+  }
+  const auto verdict = analyzer.analyze();
+  EXPECT_FALSE(verdict.sharingHarmless);
+  EXPECT_LT(verdict.welch.pValue, 1e-6);
+}
+
+TEST(Sharing, CountsAndPreconditions) {
+  SharingImpactAnalyzer analyzer;
+  analyzer.addShared(1.0);
+  analyzer.addDisjoint(2.0);
+  EXPECT_EQ(analyzer.sharedCount(), 1u);
+  EXPECT_EQ(analyzer.disjointCount(), 1u);
+  EXPECT_THROW(analyzer.analyze(), util::ContractError);
+}
+
+TEST(Checks, ExpectationsRecordPassAndFail) {
+  CheckList list("demo");
+  list.expect("trivially true", true, "detail");
+  list.expectGreater("bigger", 2.0, 1.0);
+  list.expectNear("close", 100.0, 105.0, 0.10);
+  list.expectRatio("ratio", 220.0, 100.0, 2.2, 0.05);
+  EXPECT_TRUE(list.allPassed());
+  list.expectGreater("smaller", 1.0, 2.0);
+  EXPECT_FALSE(list.allPassed());
+  const auto text = list.render();
+  EXPECT_NE(text.find("[PASS] bigger"), std::string::npos);
+  EXPECT_NE(text.find("[FAIL] smaller"), std::string::npos);
+  EXPECT_NE(text.find("SOME CHECKS FAILED"), std::string::npos);
+  EXPECT_EQ(list.checks().size(), 5u);
+}
+
+TEST(Checks, NearToleranceIsRelative) {
+  CheckList list("tol");
+  list.expectNear("within 10%", 109.0, 100.0, 0.10);
+  list.expectNear("outside 5%", 109.0, 100.0, 0.05);
+  EXPECT_TRUE(list.checks()[0].passed);
+  EXPECT_FALSE(list.checks()[1].passed);
+}
+
+}  // namespace
+}  // namespace beesim::core

@@ -1,0 +1,96 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace beesim::stats {
+namespace {
+
+std::vector<double> normalSample(std::uint64_t seed, double mean, double sd, int n) {
+  util::Rng rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (auto& x : xs) x = rng.normal(mean, sd);
+  return xs;
+}
+
+TEST(Bootstrap, MeanCiBracketsTheEstimate) {
+  const auto xs = normalSample(1, 1000.0, 50.0, 60);
+  const auto ci = bootstrapMeanCi(xs);
+  EXPECT_LE(ci.lo, ci.estimate);
+  EXPECT_GE(ci.hi, ci.estimate);
+  EXPECT_NEAR(ci.estimate, 1000.0, 25.0);
+  // Width ~ 2 * 1.96 * sd/sqrt(n) ~ 25; sanity bounds.
+  EXPECT_GT(ci.hi - ci.lo, 10.0);
+  EXPECT_LT(ci.hi - ci.lo, 60.0);
+  EXPECT_TRUE(ci.contains(ci.estimate));
+}
+
+TEST(Bootstrap, CoverageIsRoughlyNominal) {
+  // Repeat: the 90% CI must contain the true mean in roughly 90% of trials.
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto xs = normalSample(100 + t, 42.0, 8.0, 30);
+    if (bootstrapMeanCi(xs, 0.90, 400, 7).contains(42.0)) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.80);
+  EXPECT_LT(coverage, 0.97);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  const auto xs = normalSample(3, 10.0, 1.0, 20);
+  const auto a = bootstrapMeanCi(xs, 0.95, 500, 11);
+  const auto b = bootstrapMeanCi(xs, 0.95, 500, 11);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, MedianCiOnSkewedData) {
+  // Log-normal-ish skew: median CI sits near the true median, well below
+  // the mean.
+  util::Rng rng(4);
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = rng.logNormalMedian(100.0, 0.8);
+  const auto ci = bootstrapMedianCi(xs);
+  EXPECT_NEAR(ci.estimate, 100.0, 20.0);
+  EXPECT_TRUE(ci.contains(ci.estimate));
+}
+
+TEST(Bootstrap, DifferenceCiSpansZeroForEqualGroups) {
+  // Large samples so the sampling error of the two equal-mean groups is
+  // well inside the interval width.
+  const auto a = normalSample(5, 500.0, 30.0, 400);
+  const auto b = normalSample(6, 500.0, 30.0, 400);
+  const auto ci = bootstrapMeanDifferenceCi(a, b);
+  EXPECT_TRUE(ci.contains(0.0)) << ci.describe();
+}
+
+TEST(Bootstrap, DifferenceCiExcludesZeroForShiftedGroups) {
+  const auto a = normalSample(7, 550.0, 30.0, 50);
+  const auto b = normalSample(8, 500.0, 30.0, 50);
+  const auto ci = bootstrapMeanDifferenceCi(a, b);
+  EXPECT_FALSE(ci.contains(0.0)) << ci.describe();
+  EXPECT_NEAR(ci.estimate, 50.0, 20.0);
+}
+
+TEST(Bootstrap, InvalidArgumentsThrow) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(bootstrapMeanCi(std::vector<double>{}), util::ContractError);
+  EXPECT_THROW(bootstrapMeanCi(xs, 1.5), util::ContractError);
+  EXPECT_THROW(bootstrapMeanCi(xs, 0.95, 10), util::ContractError);
+}
+
+TEST(Bootstrap, DescribeFormatsInterval) {
+  const auto xs = normalSample(9, 10.0, 1.0, 30);
+  const auto text = bootstrapMeanCi(xs).describe(2);
+  EXPECT_NE(text.find('['), std::string::npos);
+  EXPECT_NE(text.find("@95%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace beesim::stats

@@ -1,0 +1,141 @@
+#include "apps/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/plafrim.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace beesim::apps {
+namespace {
+
+using namespace beesim::util::literals;
+
+struct System {
+  sim::FluidSimulator fluid;
+  topo::ClusterConfig cluster;
+  beegfs::Deployment deployment;
+  beegfs::FileSystem fs;
+
+  explicit System(std::size_t nodes, bool noiseless = true)
+      : cluster(build(nodes, noiseless)),
+        deployment(fluid, cluster, beegfs::BeegfsParams{}, util::Rng(21)),
+        fs(deployment, util::Rng(22)) {}
+
+  static topo::ClusterConfig build(std::size_t nodes, bool noiseless) {
+    auto cfg = topo::makePlafrim(topo::Scenario::kOmniPath100G, nodes);
+    if (noiseless) {
+      cfg.network.serverLinkNoiseSigmaLog = 0.0;
+      for (auto& host : cfg.hosts) {
+        for (auto& target : host.targets) target.variability = topo::VariabilitySpec{};
+      }
+    }
+    return cfg;
+  }
+};
+
+CheckpointSpec smallSpec(std::size_t nodes) {
+  CheckpointSpec spec;
+  spec.job = ior::IorJob::onFirstNodes(nodes, 8);
+  spec.checkpointBytes = 4_GiB;
+  spec.computePhase = 10.0;
+  spec.iterations = 3;
+  spec.pinnedTargets = {0, 1, 2, 3, 4, 5, 6, 7};
+  return spec;
+}
+
+TEST(Checkpoint, RunsAllIterations) {
+  System system(8);
+  const auto result = runCheckpointApp(system.fs, smallSpec(8));
+  ASSERT_EQ(result.checkpointDurations.size(), 3u);
+  for (const auto d : result.checkpointDurations) EXPECT_GT(d, 0.0);
+  // Makespan covers 3 compute phases + 3 checkpoint writes.
+  EXPECT_GT(result.makespan, 3 * 10.0);
+  EXPECT_NEAR(result.makespan, 3 * 10.0 + result.totalIoTime, 1e-6);
+  EXPECT_GT(result.meanCheckpointBandwidth, 0.0);
+  EXPECT_GT(result.ioFraction, 0.0);
+  EXPECT_LT(result.ioFraction, 1.0);
+  // One file per checkpoint.
+  EXPECT_EQ(system.fs.fileCount(), 3u);
+}
+
+TEST(Checkpoint, CheckpointBandwidthTracksIorLevel) {
+  // A checkpoint burst is just an N-1 write: its bandwidth must match the
+  // same-size IOR run on the same system (within ramp-up noise).
+  System ckptSys(16);
+  const auto ckpt = [&] {
+    auto spec = smallSpec(16);
+    spec.checkpointBytes = 16_GiB;
+    spec.iterations = 2;
+    return runCheckpointApp(ckptSys.fs, spec);
+  }();
+
+  System iorSys(16);
+  ior::IorOptions options;
+  options.blockSize = ior::blockSizeForTotal(16_GiB, 128);
+  const auto ior = ior::runIor(iorSys.fs, ior::IorJob::onFirstNodes(16, 8), options,
+                          std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_NEAR(ckpt.meanCheckpointBandwidth, ior.bandwidth, 0.10 * ior.bandwidth);
+}
+
+TEST(Checkpoint, ChooserPicksTargetsPerCheckpoint) {
+  System system(4);
+  auto spec = smallSpec(4);
+  spec.pinnedTargets.clear();  // let the round-robin chooser work
+  const auto result = runCheckpointApp(system.fs, spec);
+  EXPECT_EQ(result.checkpointDurations.size(), 3u);
+  EXPECT_EQ(system.fs.fileCount(), 3u);
+  // Default stripe count 4 -> each checkpoint file striped over 4 targets.
+  EXPECT_EQ(system.fs.info(beegfs::FileHandle{0}).pattern.stripeCount(), 4u);
+}
+
+TEST(Checkpoint, TwoSynchronizedAppsSlowEachOthersBursts) {
+  // Both apps checkpoint at the same instants: bursts collide, each write
+  // takes ~2x as long as alone; with a half-period offset they dodge each
+  // other entirely (the I/O-scheduling insight the authors' other work
+  // formalizes).
+  auto burstsWithOffset = [](util::Seconds offset) {
+    System system(16);
+    auto specA = smallSpec(8);
+    auto specB = smallSpec(8);
+    specB.job.nodeIds.clear();
+    for (std::size_t n = 8; n < 16; ++n) specB.job.nodeIds.push_back(n);
+    specB.filePrefix = "/beegfs/ckptB";
+    CheckpointResult a;
+    CheckpointResult b;
+    bool doneA = false;
+    bool doneB = false;
+    launchCheckpointApp(system.fs, specA, 0.0, [&](const CheckpointResult& r) {
+      a = r;
+      doneA = true;
+    });
+    launchCheckpointApp(system.fs, specB, offset, [&](const CheckpointResult& r) {
+      b = r;
+      doneB = true;
+    });
+    system.fluid.run();
+    EXPECT_TRUE(doneA && doneB);
+    double sum = 0.0;
+    for (const auto d : a.checkpointDurations) sum += d;
+    return sum / static_cast<double>(a.checkpointDurations.size());
+  };
+  const double synchronized = burstsWithOffset(0.0);
+  const double staggered = burstsWithOffset(6.0);  // bursts take ~2-3 s
+  EXPECT_GT(synchronized, 1.5 * staggered);
+}
+
+TEST(Checkpoint, InvalidSpecsThrow) {
+  System system(2);
+  auto spec = smallSpec(2);
+  spec.iterations = 0;
+  EXPECT_THROW(runCheckpointApp(system.fs, spec), util::ContractError);
+  spec = smallSpec(2);
+  spec.checkpointBytes = 0;
+  EXPECT_THROW(runCheckpointApp(system.fs, spec), util::ContractError);
+  spec = smallSpec(2);
+  spec.job.nodeIds = {0, 99};
+  EXPECT_THROW(runCheckpointApp(system.fs, spec), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace beesim::apps

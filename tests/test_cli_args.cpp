@@ -1,0 +1,65 @@
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace beesim::cli {
+namespace {
+
+using namespace beesim::util::literals;
+
+TEST(Args, ParsesFlagValuePairs) {
+  const Args args({"--nodes", "8", "--cluster", "plafrim1"});
+  EXPECT_EQ(args.getInt("nodes", 0), 8);
+  EXPECT_EQ(args.getString("cluster", ""), "plafrim1");
+  EXPECT_EQ(args.getString("missing", "fallback"), "fallback");
+}
+
+TEST(Args, ParsesEqualsSyntax) {
+  const Args args({"--stripe=4", "--total=8GiB"});
+  EXPECT_EQ(args.getInt("stripe", 0), 4);
+  EXPECT_EQ(args.getBytes("total", 0), 8_GiB);
+}
+
+TEST(Args, BooleanFlags) {
+  const Args args({"--verbose", "--nodes", "2"}, {"verbose"});
+  EXPECT_TRUE(args.getBool("verbose"));
+  EXPECT_FALSE(args.getBool("quiet"));
+  EXPECT_EQ(args.getInt("nodes", 0), 2);
+}
+
+TEST(Args, Positionals) {
+  const Args args({"first", "--flag", "v", "second"});
+  EXPECT_EQ(args.positionals(), (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(Args, TypedParsingErrors) {
+  const Args args({"--n", "abc", "--d", "1.5x", "--b", "12zz"});
+  EXPECT_THROW(args.getInt("n", 0), util::ConfigError);
+  EXPECT_THROW(args.getDouble("d", 0.0), util::ConfigError);
+  EXPECT_THROW(args.getBytes("b", 0), util::ConfigError);
+}
+
+TEST(Args, MissingValueThrows) {
+  EXPECT_THROW(Args({"--nodes"}), util::ConfigError);
+  EXPECT_THROW(Args({"--"}), util::ConfigError);
+}
+
+TEST(Args, UnusedFlagsAreReported) {
+  const Args args({"--known", "1", "--typo", "2"});
+  EXPECT_EQ(args.getInt("known", 0), 1);
+  const auto unused = args.unusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "--typo");
+}
+
+TEST(Args, GetDoubleParses) {
+  const Args args({"--sigma", "0.05"});
+  EXPECT_DOUBLE_EQ(args.getDouble("sigma", 1.0), 0.05);
+  EXPECT_DOUBLE_EQ(args.getDouble("other", 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace beesim::cli

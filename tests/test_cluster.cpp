@@ -1,0 +1,120 @@
+#include "topology/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace beesim::topo {
+namespace {
+
+UniformClusterSpec smallSpec() {
+  UniformClusterSpec spec;
+  spec.name = "test";
+  spec.computeNodes = 3;
+  spec.storageHosts = 2;
+  spec.targetsPerHost = 4;
+  return spec;
+}
+
+TEST(Cluster, UniformBuilderCounts) {
+  const auto cfg = buildUniformCluster(smallSpec());
+  EXPECT_EQ(cfg.nodes.size(), 3u);
+  EXPECT_EQ(cfg.hosts.size(), 2u);
+  EXPECT_EQ(cfg.targetCount(), 8u);
+  EXPECT_EQ(cfg.hosts[0].targets.size(), 4u);
+}
+
+TEST(Cluster, FlatIndexRoundTrips) {
+  const auto cfg = buildUniformCluster(smallSpec());
+  std::size_t flat = 0;
+  for (std::size_t h = 0; h < cfg.hosts.size(); ++h) {
+    for (std::size_t t = 0; t < cfg.hosts[h].targets.size(); ++t) {
+      EXPECT_EQ(cfg.flatTargetIndex(h, t), flat);
+      const auto [host, target] = cfg.targetLocation(flat);
+      EXPECT_EQ(host, h);
+      EXPECT_EQ(target, t);
+      ++flat;
+    }
+  }
+}
+
+TEST(Cluster, BeegfsNumberingMatchesPaper) {
+  // PlaFRIM-style 2x4: flat 0..3 -> 101..104, flat 4..7 -> 201..204.
+  const auto cfg = buildUniformCluster(smallSpec());
+  EXPECT_EQ(cfg.beegfsTargetNum(0), 101);
+  EXPECT_EQ(cfg.beegfsTargetNum(3), 104);
+  EXPECT_EQ(cfg.beegfsTargetNum(4), 201);
+  EXPECT_EQ(cfg.beegfsTargetNum(7), 204);
+}
+
+TEST(Cluster, OutOfRangeIndicesThrow) {
+  const auto cfg = buildUniformCluster(smallSpec());
+  EXPECT_THROW(cfg.flatTargetIndex(2, 0), util::ContractError);
+  EXPECT_THROW(cfg.flatTargetIndex(0, 4), util::ContractError);
+  EXPECT_THROW(cfg.targetLocation(8), util::ContractError);
+}
+
+TEST(Cluster, ValidateAcceptsGoodConfig) {
+  const auto cfg = buildUniformCluster(smallSpec());
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Cluster, ValidateRejectsEmptyNodes) {
+  auto cfg = buildUniformCluster(smallSpec());
+  cfg.nodes.clear();
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+}
+
+TEST(Cluster, ValidateRejectsBadBandwidths) {
+  auto cfg = buildUniformCluster(smallSpec());
+  cfg.nodes[0].nicBandwidth = 0.0;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+
+  cfg = buildUniformCluster(smallSpec());
+  cfg.nodes[0].clientThroughputCap = -1.0;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+
+  cfg = buildUniformCluster(smallSpec());
+  cfg.hosts[0].nicBandwidth = 0.0;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+
+  cfg = buildUniformCluster(smallSpec());
+  cfg.hosts[0].serviceCap = -5.0;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+
+  cfg = buildUniformCluster(smallSpec());
+  cfg.network.backboneBandwidth = -1.0;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+}
+
+TEST(Cluster, ValidateRejectsHostWithoutTargets) {
+  auto cfg = buildUniformCluster(smallSpec());
+  cfg.hosts[1].targets.clear();
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+}
+
+TEST(Cluster, BuilderRejectsZeroCounts) {
+  auto spec = smallSpec();
+  spec.computeNodes = 0;
+  EXPECT_THROW(buildUniformCluster(spec), util::ConfigError);
+  spec = smallSpec();
+  spec.storageHosts = 0;
+  EXPECT_THROW(buildUniformCluster(spec), util::ConfigError);
+  spec = smallSpec();
+  spec.targetsPerHost = 0;
+  EXPECT_THROW(buildUniformCluster(spec), util::ConfigError);
+}
+
+TEST(Cluster, UnevenHostsSupported) {
+  auto cfg = buildUniformCluster(smallSpec());
+  cfg.hosts[0].targets.pop_back();  // 3 + 4 targets
+  cfg.validate();
+  EXPECT_EQ(cfg.targetCount(), 7u);
+  EXPECT_EQ(cfg.flatTargetIndex(1, 0), 3u);
+  const auto [host, target] = cfg.targetLocation(6);
+  EXPECT_EQ(host, 1u);
+  EXPECT_EQ(target, 3u);
+}
+
+}  // namespace
+}  // namespace beesim::topo

@@ -1,0 +1,96 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/error.hpp"
+
+namespace beesim::util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::filesystem::path tmpFile() {
+    auto path = std::filesystem::temp_directory_path() /
+                ("beesim_csv_test_" + std::to_string(counter_++) + ".csv");
+    cleanup_.push_back(path);
+    return path;
+  }
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::filesystem::remove(p);
+  }
+  int counter_ = 0;
+  std::vector<std::filesystem::path> cleanup_;
+};
+
+TEST_F(CsvTest, WriteThenReadRoundTrips) {
+  const auto path = tmpFile();
+  {
+    CsvWriter writer(path, {"a", "b", "c"});
+    writer.writeRow({"1", "2", "3"});
+    writer.writeRow({"x", "y", "z"});
+    EXPECT_EQ(writer.rowCount(), 2u);
+  }
+  const auto data = readCsv(path);
+  ASSERT_EQ(data.header.size(), 3u);
+  EXPECT_EQ(data.header[0], "a");
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_EQ(data.rows[1][2], "z");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  const auto path = tmpFile();
+  {
+    CsvWriter writer(path, {"text"});
+    writer.writeRow({"has,comma"});
+    writer.writeRow({"has\"quote"});
+  }
+  const auto data = readCsv(path);
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_EQ(data.rows[0][0], "has,comma");
+  EXPECT_EQ(data.rows[1][0], "has\"quote");
+}
+
+TEST_F(CsvTest, RowWidthMismatchThrows) {
+  const auto path = tmpFile();
+  CsvWriter writer(path, {"a", "b"});
+  EXPECT_THROW(writer.writeRow({"only-one"}), ContractError);
+}
+
+TEST_F(CsvTest, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvWriter(tmpFile(), {}), ContractError);
+}
+
+TEST_F(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(readCsv("/nonexistent/beesim.csv"), IoError);
+}
+
+TEST(CsvParse, HandlesQuotedFields) {
+  const auto data = parseCsv("a,b\n\"1,5\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(data.rows.size(), 1u);
+  EXPECT_EQ(data.rows[0][0], "1,5");
+  EXPECT_EQ(data.rows[0][1], "say \"hi\"");
+}
+
+TEST(CsvParse, SkipsBlankLinesAndCarriageReturns) {
+  const auto data = parseCsv("a,b\r\n\r\n1,2\r\n");
+  ASSERT_EQ(data.rows.size(), 1u);
+  EXPECT_EQ(data.rows[0][1], "2");
+}
+
+TEST(CsvParse, ColumnLookup) {
+  const auto data = parseCsv("nodes,bandwidth\n8,1460\n");
+  EXPECT_EQ(data.column("bandwidth"), 1u);
+  EXPECT_THROW(data.column("missing"), IoError);
+}
+
+TEST(CsvEscape, OnlyQuotesWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
+}
+
+}  // namespace
+}  // namespace beesim::util

@@ -1,0 +1,150 @@
+// End-to-end determinism and conservation properties.
+//
+// The paper's methodology hinges on reproducible, comparable runs; in the
+// simulation this must be *exact*: the same seed yields bit-identical
+// campaigns, and no byte is created or lost anywhere in the fluid model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "beegfs/deployment.hpp"
+#include "beegfs/filesystem.hpp"
+#include "harness/campaign.hpp"
+#include "harness/concurrent.hpp"
+#include "ior/runner.hpp"
+#include "stats/summary.hpp"
+#include "topology/plafrim.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace beesim {
+namespace {
+
+using namespace beesim::util::literals;
+
+harness::RunConfig smallConfig(unsigned count) {
+  harness::RunConfig config;
+  config.cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G, 4);
+  config.fs.defaultStripe.stripeCount = count;
+  config.job = ior::IorJob::onFirstNodes(4, 8);
+  config.ior.blockSize = ior::blockSizeForTotal(4_GiB, config.job.ranks());
+  return config;
+}
+
+TEST(Determinism, CampaignsAreBitReproducible) {
+  std::vector<harness::CampaignEntry> entries;
+  for (const unsigned count : {2u, 4u, 8u}) {
+    harness::CampaignEntry entry;
+    entry.config = smallConfig(count);
+    entry.factors["count"] = std::to_string(count);
+    entries.push_back(std::move(entry));
+  }
+  harness::ProtocolOptions options;
+  options.repetitions = 5;
+  const auto a = harness::executeCampaign(entries, options, 777);
+  const auto b = harness::executeCampaign(entries, options, 777);
+  ASSERT_EQ(a.size(), b.size());
+  const auto bwA = a.metric("bandwidth_mibps");
+  const auto bwB = b.metric("bandwidth_mibps");
+  for (std::size_t i = 0; i < bwA.size(); ++i) EXPECT_DOUBLE_EQ(bwA[i], bwB[i]);
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentCampaigns) {
+  std::vector<harness::CampaignEntry> entries(1);
+  entries[0].config = smallConfig(4);
+  harness::ProtocolOptions options;
+  options.repetitions = 5;
+  const auto a = harness::executeCampaign(entries, options, 1);
+  const auto b = harness::executeCampaign(entries, options, 2);
+  const auto bwA = a.metric("bandwidth_mibps");
+  const auto bwB = b.metric("bandwidth_mibps");
+  int equal = 0;
+  for (std::size_t i = 0; i < bwA.size(); ++i) {
+    if (bwA[i] == bwB[i]) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Determinism, ConcurrentRunsAreReproducible) {
+  auto base = smallConfig(4);
+  base.cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G, 8);
+  std::vector<harness::AppSpec> apps(2);
+  for (int a = 0; a < 2; ++a) {
+    apps[static_cast<std::size_t>(a)].job.ppn = 8;
+    for (std::size_t n = 0; n < 4; ++n) {
+      apps[static_cast<std::size_t>(a)].job.nodeIds.push_back(
+          static_cast<std::size_t>(a) * 4 + n);
+    }
+    apps[static_cast<std::size_t>(a)].ior.blockSize =
+        ior::blockSizeForTotal(4_GiB, apps[static_cast<std::size_t>(a)].job.ranks());
+  }
+  const auto r1 = harness::runConcurrent(base, apps, 99);
+  const auto r2 = harness::runConcurrent(base, apps, 99);
+  EXPECT_DOUBLE_EQ(r1.aggregateBandwidth, r2.aggregateBandwidth);
+  EXPECT_EQ(r1.sharedTargets, r2.sharedTargets);
+  for (std::size_t a = 0; a < 2; ++a) {
+    EXPECT_DOUBLE_EQ(r1.apps[a].bandwidth, r2.apps[a].bandwidth);
+    EXPECT_EQ(r1.apps[a].targetsUsed, r2.apps[a].targetsUsed);
+  }
+}
+
+TEST(Determinism, RunsUnaffectedByOtherRunsInTheProcess) {
+  // Fresh-state guarantee: a run's result must not depend on how many runs
+  // executed before it in the same process.
+  const auto config = smallConfig(4);
+  const auto alone = harness::runOnce(config, 5).ior.bandwidth;
+  for (int i = 0; i < 3; ++i) harness::runOnce(config, 1000 + i);
+  const auto after = harness::runOnce(config, 5).ior.bandwidth;
+  EXPECT_DOUBLE_EQ(alone, after);
+}
+
+/// Conservation sweep: per-target byte accounting must add up to the total
+/// written, for every stripe count and access pattern.
+class ConservationTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ConservationTest, BytesLandExactlyOnce) {
+  const unsigned count = GetParam();
+  beegfs::BeegfsParams params;
+  params.defaultStripe.stripeCount = count;
+  sim::FluidSimulator fluid;
+  const auto cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G, 4);
+  beegfs::Deployment deployment(fluid, cluster, params, util::Rng(3));
+  beegfs::FileSystem fs(deployment, util::Rng(4));
+
+  ior::IorOptions options;
+  options.blockSize = ior::blockSizeForTotal(4_GiB, 32);
+  options.segments = 2;
+  options.blockSize /= 2;
+  const auto result = ior::runIor(fs, ior::IorJob::onFirstNodes(4, 8), options);
+
+  util::Bytes accounted = 0;
+  for (std::size_t t = 0; t < cluster.targetCount(); ++t) {
+    accounted += deployment.mgmt().target(t).used;
+  }
+  EXPECT_EQ(accounted, result.totalBytes);
+  EXPECT_EQ(result.totalBytes, 4_GiB);
+
+  // The per-target distribution is as even as striping allows (contiguous
+  // region, aligned chunks): max - min <= one chunk per rank.
+  util::Bytes minUsed = ~util::Bytes{0};
+  util::Bytes maxUsed = 0;
+  for (const auto t : result.targetsUsed) {
+    const auto used = deployment.mgmt().target(t).used;
+    minUsed = std::min(minUsed, used);
+    maxUsed = std::max(maxUsed, used);
+  }
+  EXPECT_LE(maxUsed - minUsed, 32ULL * 512 * 1024);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ConservationTest, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Conservation, BandwidthIsConsistentWithRankTimes) {
+  const auto record = harness::runOnce(smallConfig(8), 11);
+  const auto& r = record.ior;
+  const double lastRank = *std::max_element(r.rankEnd.begin(), r.rankEnd.end());
+  EXPECT_DOUBLE_EQ(lastRank, r.end);
+  EXPECT_NEAR(r.bandwidth, util::toMiB(r.totalBytes) / (r.end - r.start), 1e-9);
+}
+
+}  // namespace
+}  // namespace beesim

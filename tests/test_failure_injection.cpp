@@ -1,0 +1,123 @@
+// Failure injection: targets going offline, capacity exhaustion, and how
+// the file system and the analysis layer cope.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "beegfs/deployment.hpp"
+#include "beegfs/filesystem.hpp"
+#include "core/allocation.hpp"
+#include "ior/runner.hpp"
+#include "topology/plafrim.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace beesim {
+namespace {
+
+using namespace beesim::util::literals;
+
+struct System {
+  sim::FluidSimulator fluid;
+  topo::ClusterConfig cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G, 4);
+  beegfs::Deployment deployment;
+  beegfs::FileSystem fs;
+
+  explicit System(beegfs::BeegfsParams params = {})
+      : deployment(fluid, cluster, params, util::Rng(1)), fs(deployment, util::Rng(2)) {}
+};
+
+TEST(FailureInjection, JobRunsOnSurvivingTargets) {
+  beegfs::BeegfsParams params;
+  params.defaultStripe.stripeCount = 8;
+  System system(params);
+  // Take a whole server's targets offline before the job starts.
+  for (std::size_t t = 4; t < 8; ++t) system.deployment.mgmt().setTargetOnline(t, false);
+
+  ior::IorOptions options;
+  options.blockSize = ior::blockSizeForTotal(4_GiB, 32);
+  const auto result = ior::runIor(system.fs, ior::IorJob::onFirstNodes(4, 8), options);
+  EXPECT_GT(result.bandwidth, 0.0);
+  for (const auto t : result.targetsUsed) EXPECT_LT(t, 4u);
+  const core::Allocation alloc(result.targetsUsed, system.cluster);
+  EXPECT_EQ(alloc.key(), "(0,4)");
+}
+
+TEST(FailureInjection, HalfOfflineHalvesScenario1Peak) {
+  // Losing one server's targets turns the balanced peak into the
+  // single-server floor -- the Fig. 8 effect as a degraded-mode statement.
+  auto bandwidthWithOffline = [](bool degrade) {
+    beegfs::BeegfsParams params;
+    params.defaultStripe.stripeCount = 8;
+    sim::FluidSimulator fluid;
+    auto cluster = topo::makePlafrim(topo::Scenario::kEthernet10G, 8);
+    cluster.network.serverLinkNoiseSigmaLog = 0.0;
+    for (auto& host : cluster.hosts) {
+      for (auto& target : host.targets) target.variability = topo::VariabilitySpec{};
+    }
+    beegfs::Deployment deployment(fluid, cluster, params, util::Rng(1));
+    beegfs::FileSystem fs(deployment, util::Rng(2));
+    if (degrade) {
+      for (std::size_t t = 4; t < 8; ++t) deployment.mgmt().setTargetOnline(t, false);
+    }
+    ior::IorOptions options;
+    options.blockSize = ior::blockSizeForTotal(16_GiB, 64);
+    return ior::runIor(fs, ior::IorJob::onFirstNodes(8, 8), options).bandwidth;
+  };
+  const double healthy = bandwidthWithOffline(false);
+  const double degraded = bandwidthWithOffline(true);
+  EXPECT_NEAR(healthy / degraded, 2.0, 0.1);
+}
+
+TEST(FailureInjection, RecoveredTargetIsUsedAgain) {
+  beegfs::BeegfsParams params;
+  params.chooser = beegfs::ChooserKind::kBalanced;
+  params.defaultStripe.stripeCount = 8;
+  System system(params);
+  system.deployment.mgmt().setTargetOnline(3, false);
+  const auto degraded = system.fs.create("/during-outage");
+  EXPECT_EQ(system.fs.info(degraded).pattern.stripeCount(), 7u);
+
+  system.deployment.mgmt().setTargetOnline(3, true);
+  const auto recovered = system.fs.create("/after-recovery");
+  EXPECT_EQ(system.fs.info(recovered).pattern.stripeCount(), 8u);
+}
+
+TEST(FailureInjection, ExistingFilesKeepTheirPattern) {
+  // BeeGFS semantics: striping is fixed at create time; an outage after the
+  // fact does not rewrite patterns (the data would simply be unavailable).
+  System system;
+  const auto handle = system.fs.createPinned("/old", {0, 4}, 512_KiB);
+  system.deployment.mgmt().setTargetOnline(4, false);
+  EXPECT_EQ(system.fs.info(handle).pattern.targets(),
+            (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(FailureInjection, CapacityExhaustionSurfacesAsConfigError) {
+  System system;
+  const auto handle = system.fs.createPinned("/huge", {0}, 512_KiB);
+  // 16 TiB per-target capacity: the accounting must reject the overflow.
+  auto& mgmt = system.deployment.mgmt();
+  mgmt.recordUsage(0, 16_TiB - 1_MiB);
+  EXPECT_THROW(system.fs.writeAsync(0, handle, 0, 2_MiB, 1.0, nullptr),
+               util::ConfigError);
+}
+
+TEST(FailureInjection, OfflineEverythingMidFlightKeepsActiveFlows) {
+  // Going offline only affects *placement* of new files; in-flight fluid
+  // transfers to the device continue (the device did not vanish, it was
+  // deregistered).  The write completes.
+  System system;
+  const auto handle = system.fs.createPinned("/inflight", {0, 4}, 512_KiB);
+  bool done = false;
+  system.fs.writeAsync(0, handle, 0, 1_GiB, 8.0, [&](util::Seconds) { done = true; });
+  system.fluid.engine().scheduleAfter(0.01, [&] {
+    system.deployment.mgmt().setTargetOnline(0, false);
+    system.deployment.mgmt().setTargetOnline(4, false);
+  });
+  system.fluid.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace beesim

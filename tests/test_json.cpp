@@ -1,0 +1,108 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace beesim::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parseJson("null").isNull());
+  EXPECT_EQ(parseJson("true").asBool(), true);
+  EXPECT_EQ(parseJson("false").asBool(), false);
+  EXPECT_DOUBLE_EQ(parseJson("42").asNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(parseJson("-3.5e2").asNumber(), -350.0);
+  EXPECT_EQ(parseJson("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto doc = parseJson(R"({
+    "name": "plafrim",
+    "hosts": [ {"nic": 1100, "targets": [1, 2, 3]}, {"nic": 1100.5} ],
+    "flag": true
+  })");
+  EXPECT_EQ(doc.at("name").asString(), "plafrim");
+  const auto& hosts = doc.at("hosts").asArray();
+  ASSERT_EQ(hosts.size(), 2u);
+  EXPECT_DOUBLE_EQ(hosts[0].at("nic").asNumber(), 1100.0);
+  EXPECT_EQ(hosts[0].at("targets").asArray().size(), 3u);
+  EXPECT_TRUE(doc.at("flag").asBool());
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parseJson(R"("a\"b\\c\nd\te")").asString(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parseJson(R"("Aé")").asString(), "A\xc3\xa9");  // A, e-acute UTF-8
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(parseJson("[]").asArray().empty());
+  EXPECT_TRUE(parseJson("{}").asObject().empty());
+  EXPECT_TRUE(parseJson(" [ ] ").asArray().empty());
+}
+
+TEST(Json, ErrorsCarryPosition) {
+  try {
+    parseJson("{\n  \"a\": ,\n}");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Json, MalformedInputsThrow) {
+  EXPECT_THROW(parseJson(""), ConfigError);
+  EXPECT_THROW(parseJson("{"), ConfigError);
+  EXPECT_THROW(parseJson("[1,]"), ConfigError);
+  EXPECT_THROW(parseJson("{\"a\" 1}"), ConfigError);
+  EXPECT_THROW(parseJson("tru"), ConfigError);
+  EXPECT_THROW(parseJson("1 2"), ConfigError);  // trailing garbage
+  EXPECT_THROW(parseJson("\"unterminated"), ConfigError);
+  EXPECT_THROW(parseJson("1.2.3"), ConfigError);
+}
+
+TEST(Json, KindMismatchesThrow) {
+  const auto doc = parseJson(R"({"n": 5})");
+  EXPECT_THROW(doc.at("n").asString(), ConfigError);
+  EXPECT_THROW(doc.at("missing"), ConfigError);
+  EXPECT_THROW(doc.asArray(), ConfigError);
+  EXPECT_THROW(parseJson("3").at("x"), ConfigError);
+}
+
+TEST(Json, FallbackAccessors) {
+  const auto doc = parseJson(R"({"a": 1, "s": "x", "b": false})");
+  EXPECT_DOUBLE_EQ(doc.numberOr("a", 9.0), 1.0);
+  EXPECT_DOUBLE_EQ(doc.numberOr("zz", 9.0), 9.0);
+  EXPECT_EQ(doc.stringOr("s", "y"), "x");
+  EXPECT_EQ(doc.stringOr("zz", "y"), "y");
+  EXPECT_FALSE(doc.boolOr("b", true));
+  EXPECT_TRUE(doc.boolOr("zz", true));
+  // Present-but-wrong-kind still throws (typos must not pass silently).
+  EXPECT_THROW(doc.numberOr("s", 0.0), ConfigError);
+}
+
+TEST(Json, DumpRoundTrips) {
+  const std::string text =
+      R"({"array":[1,2.5,"three",null],"nested":{"ok":true},"z":"last"})";
+  const auto doc = parseJson(text);
+  EXPECT_EQ(parseJson(doc.dump()), doc);
+  EXPECT_EQ(parseJson(doc.dump(2)), doc);  // pretty-print round-trips too
+  // Compact dump of ordered keys is canonical.
+  EXPECT_EQ(doc.dump(), text);
+}
+
+TEST(Json, DumpEscapesStrings) {
+  const JsonValue value(std::string("quote\" slash\\ nl\n"));
+  EXPECT_EQ(parseJson(value.dump()).asString(), "quote\" slash\\ nl\n");
+}
+
+TEST(Json, BuildProgrammatically) {
+  JsonObject obj;
+  obj["count"] = 4;
+  obj["list"] = JsonValue(JsonArray{JsonValue(1), JsonValue(2)});
+  const JsonValue doc{std::move(obj)};
+  EXPECT_EQ(doc.dump(), R"({"count":4,"list":[1,2]})");
+}
+
+}  // namespace
+}  // namespace beesim::util

@@ -1,0 +1,105 @@
+#include "topology/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "topology/plafrim.hpp"
+#include "util/error.hpp"
+
+namespace beesim::topo {
+namespace {
+
+constexpr const char* kCompactDoc = R"({
+  "name": "mysite",
+  "network": { "backbone": 0, "serverLinkNoiseSigmaLog": 0.03 },
+  "nodes": { "count": 4, "nic": 11000, "clientCap": 1680 },
+  "hosts": [
+    { "nic": 11000, "serviceCap": 4500,
+      "targets": { "count": 4, "disks": 12, "parityDisks": 2,
+                   "perDiskStream": 200, "writeEfficiency": 0.93,
+                   "variability": { "kind": "lognormal", "sigma": 0.05 } } },
+    { "nic": 11000, "serviceCap": 4500,
+      "targets": { "count": 4, "perDiskStream": 200 } }
+  ]
+})";
+
+TEST(Loader, ParsesCompactForm) {
+  const auto cluster = clusterFromJson(kCompactDoc);
+  EXPECT_EQ(cluster.name, "mysite");
+  EXPECT_EQ(cluster.nodes.size(), 4u);
+  EXPECT_DOUBLE_EQ(cluster.nodes[0].clientThroughputCap, 1680.0);
+  EXPECT_EQ(cluster.hosts.size(), 2u);
+  EXPECT_EQ(cluster.targetCount(), 8u);
+  EXPECT_DOUBLE_EQ(cluster.network.serverLinkNoiseSigmaLog, 0.03);
+  EXPECT_EQ(cluster.hosts[0].targets[0].variability.kind,
+            VariabilitySpec::Kind::kLogNormal);
+  // Defaults fill unspecified device fields.
+  EXPECT_DOUBLE_EQ(cluster.hosts[1].targets[0].device.writeEfficiency, 0.93);
+  // Auto-generated names are distinct.
+  EXPECT_NE(cluster.hosts[0].targets[0].name, cluster.hosts[0].targets[1].name);
+}
+
+TEST(Loader, ParsesExplicitArrays) {
+  const auto cluster = clusterFromJson(R"({
+    "name": "tiny",
+    "nodes": [ {"name": "n0", "nic": 1250, "clientCap": 900 },
+               {"nic": 1250 } ],
+    "hosts": [ { "targets": [ {"disks": 10}, {"disks": 12} ] } ]
+  })");
+  EXPECT_EQ(cluster.nodes[0].name, "n0");
+  EXPECT_EQ(cluster.nodes.size(), 2u);
+  EXPECT_EQ(cluster.hosts[0].targets[0].device.disks, 10);
+  EXPECT_EQ(cluster.hosts[0].targets[1].device.disks, 12);
+}
+
+TEST(Loader, RoundTripsThroughJson) {
+  const auto original = makePlafrim(Scenario::kOmniPath100G, 3);
+  const auto reloaded = clusterFromJson(clusterToJson(original));
+  EXPECT_EQ(reloaded.name, original.name);
+  ASSERT_EQ(reloaded.nodes.size(), original.nodes.size());
+  ASSERT_EQ(reloaded.hosts.size(), original.hosts.size());
+  EXPECT_DOUBLE_EQ(reloaded.nodes[0].clientThroughputCap,
+                   original.nodes[0].clientThroughputCap);
+  EXPECT_DOUBLE_EQ(reloaded.hosts[1].serviceCap, original.hosts[1].serviceCap);
+  EXPECT_DOUBLE_EQ(reloaded.hosts[0].targets[0].device.streamQHalf,
+                   original.hosts[0].targets[0].device.streamQHalf);
+  EXPECT_EQ(reloaded.hosts[0].targets[0].variability.kind,
+            original.hosts[0].targets[0].variability.kind);
+  // Second round trip is byte-stable (canonical serialization).
+  EXPECT_EQ(clusterToJson(reloaded), clusterToJson(original));
+}
+
+TEST(Loader, SaveAndLoadFile) {
+  const auto path = std::filesystem::temp_directory_path() / "beesim_cluster_test.json";
+  const auto original = makePlafrim(Scenario::kEthernet10G, 2);
+  saveCluster(original, path);
+  const auto reloaded = loadCluster(path);
+  EXPECT_EQ(reloaded.targetCount(), original.targetCount());
+  std::filesystem::remove(path);
+}
+
+TEST(Loader, SchemaViolationsThrow) {
+  EXPECT_THROW(clusterFromJson("{}"), util::ConfigError);  // missing nodes
+  EXPECT_THROW(clusterFromJson(R"({"nodes": {"count": 0}, "hosts": []})"),
+               util::ConfigError);
+  EXPECT_THROW(clusterFromJson(R"({"nodes": {"count": 1}, "hosts": []})"),
+               util::ConfigError);  // no hosts -> validate() fails
+  EXPECT_THROW(clusterFromJson(R"({
+    "nodes": {"count": 1},
+    "hosts": [ {"targets": {"count": 1},
+                "nic": -5} ] })"),
+               util::ConfigError);  // negative capacity
+  EXPECT_THROW(clusterFromJson(R"({
+    "nodes": {"count": 1},
+    "hosts": [ {"targets": {"count": 1,
+                "variability": {"kind": "banana"}}} ] })"),
+               util::ConfigError);
+}
+
+TEST(Loader, MissingFileThrows) {
+  EXPECT_THROW(loadCluster("/nonexistent/cluster.json"), util::IoError);
+}
+
+}  // namespace
+}  // namespace beesim::topo

@@ -1,0 +1,71 @@
+#include "beegfs/meta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace beesim::beegfs {
+namespace {
+
+TEST(Meta, CostsArePositiveWithDefaults) {
+  MetaService meta(MetaParams{}, util::Rng(1));
+  EXPECT_GT(meta.createCost(), 0.0);
+  EXPECT_GT(meta.openAllCost(8), 0.0);
+  EXPECT_GT(meta.statCost(), 0.0);
+  EXPECT_EQ(meta.opsServed(), 3u);
+}
+
+TEST(Meta, ZeroLatencyMeansZeroCost) {
+  MetaParams params;
+  params.createLatency = 0.0;
+  params.openLatency = 0.0;
+  params.statLatency = 0.0;
+  MetaService meta(params, util::Rng(2));
+  EXPECT_DOUBLE_EQ(meta.createCost(), 0.0);
+  EXPECT_DOUBLE_EQ(meta.openAllCost(64), 0.0);
+  EXPECT_DOUBLE_EQ(meta.statCost(), 0.0);
+}
+
+TEST(Meta, OpenPileUpGrowsLogarithmically) {
+  MetaParams params;
+  params.jitterSigmaLog = 0.0;  // deterministic
+  MetaService meta(params, util::Rng(3));
+  const double one = meta.openAllCost(1);
+  const double many = meta.openAllCost(256);
+  EXPECT_GT(many, one);
+  // 1 + ln(256) ~ 6.55 -> bounded pile-up, not linear.
+  EXPECT_LT(many, 10.0 * one);
+  EXPECT_NEAR(many / one, 1.0 + std::log(256.0), 1e-9);
+}
+
+TEST(Meta, JitterVariesCosts) {
+  MetaService meta(MetaParams{}, util::Rng(4));
+  const double a = meta.createCost();
+  const double b = meta.createCost();
+  EXPECT_NE(a, b);
+}
+
+TEST(Meta, DeterministicGivenSeed) {
+  MetaService a(MetaParams{}, util::Rng(5));
+  MetaService b(MetaParams{}, util::Rng(5));
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.createCost(), b.createCost());
+}
+
+TEST(Meta, InvalidParamsThrow) {
+  MetaParams params;
+  params.createLatency = -1.0;
+  EXPECT_THROW(MetaService(params, util::Rng(6)), util::ContractError);
+  params = MetaParams{};
+  params.jitterSigmaLog = -0.5;
+  EXPECT_THROW(MetaService(params, util::Rng(6)), util::ContractError);
+}
+
+TEST(Meta, OpenAllNeedsARank) {
+  MetaService meta(MetaParams{}, util::Rng(7));
+  EXPECT_THROW(meta.openAllCost(0), util::ContractError);
+}
+
+}  // namespace
+}  // namespace beesim::beegfs

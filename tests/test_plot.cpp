@@ -1,0 +1,127 @@
+#include "stats/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace beesim::stats {
+namespace {
+
+TEST(CategoryScatter, RendersDotsAndLabels) {
+  std::vector<CategoryScatter> cats{
+      {"1", {1100.0, 1105.0, 1098.0}},
+      {"2", {2200.0, 2195.0}},
+  };
+  PlotOptions options;
+  options.xLabel = "stripe count";
+  options.yLabel = "MiB/s";
+  const auto out = renderCategoryScatter(cats, options);
+  EXPECT_NE(out.find('.'), std::string::npos);
+  EXPECT_NE(out.find("stripe count"), std::string::npos);
+  EXPECT_NE(out.find("MiB/s"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(CategoryScatter, BimodalCloudOccupiesTwoBands) {
+  // Two clouds in one category: the rendering must place dots both near the
+  // top and near the bottom of the plot.
+  std::vector<CategoryScatter> cats{{"2", {}}};
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) cats[0].values.push_back(rng.normal(1100.0, 10.0));
+  for (int i = 0; i < 50; ++i) cats[0].values.push_back(rng.normal(2200.0, 10.0));
+  PlotOptions options;
+  options.height = 12;
+  const auto out = renderCategoryScatter(cats, options);
+
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto next = out.find('\n', pos);
+    lines.push_back(out.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  auto hasDots = [&](const std::string& line) {
+    return line.find('.') != std::string::npos || line.find('*') != std::string::npos;
+  };
+  // First plot row (top band) and a row near the bottom both carry dots,
+  // with an empty band in the middle.
+  EXPECT_TRUE(hasDots(lines[0]));
+  EXPECT_TRUE(hasDots(lines[11]));
+  EXPECT_FALSE(hasDots(lines[5]));
+}
+
+TEST(CategoryScatter, ContractViolations) {
+  EXPECT_THROW(renderCategoryScatter(std::vector<CategoryScatter>{}), util::ContractError);
+  std::vector<CategoryScatter> tooMany(40, CategoryScatter{"x", {1.0}});
+  PlotOptions narrow;
+  narrow.width = 40;
+  EXPECT_THROW(renderCategoryScatter(tooMany, narrow), util::ContractError);
+}
+
+TEST(Lines, RendersSeriesWithLegend) {
+  std::vector<Series> series{
+      {"stripe 4", {1, 2, 4, 8}, {1300, 1600, 1800, 2200}},
+      {"stripe 8", {1, 2, 4, 8}, {1500, 2600, 4400, 6800}},
+  };
+  PlotOptions options;
+  options.xLabel = "nodes";
+  const auto out = renderLines(series, options);
+  EXPECT_NE(out.find("o stripe 4"), std::string::npos);
+  EXPECT_NE(out.find("+ stripe 8"), std::string::npos);
+  EXPECT_NE(out.find("nodes"), std::string::npos);
+  // Interpolation dots between points.
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(Lines, MonotoneSeriesRendersMonotonically) {
+  // The topmost glyph of a rising series must appear at the right edge.
+  std::vector<Series> series{{"s", {0, 1, 2, 3}, {0, 10, 20, 30}}};
+  PlotOptions options;
+  options.width = 40;
+  options.height = 10;
+  const auto out = renderLines(series, options);
+  const auto firstRowEnd = out.find('\n');
+  const auto firstRow = out.substr(0, firstRowEnd);
+  const auto glyphCol = firstRow.rfind('o');
+  EXPECT_NE(glyphCol, std::string::npos);
+  EXPECT_GT(glyphCol, firstRow.size() - 6);  // near the right edge
+}
+
+TEST(Lines, MismatchedSeriesThrow) {
+  std::vector<Series> bad{{"s", {1, 2}, {1}}};
+  EXPECT_THROW(renderLines(bad), util::ContractError);
+  EXPECT_THROW(renderLines(std::vector<Series>{}), util::ContractError);
+}
+
+TEST(Boxes, RendersQuartilesAndOutliers) {
+  std::vector<double> values{10, 11, 12, 13, 14, 15, 16, 40};
+  std::vector<LabelledBox> boxes{{"(1,3)", boxPlot(values)}};
+  const auto out = renderBoxes(boxes);
+  EXPECT_NE(out.find("(1,3)"), std::string::npos);
+  EXPECT_NE(out.find('M'), std::string::npos);   // median
+  EXPECT_NE(out.find('['), std::string::npos);   // q1
+  EXPECT_NE(out.find(']'), std::string::npos);   // q3
+  EXPECT_NE(out.find('o'), std::string::npos);   // the outlier at 40
+}
+
+TEST(Boxes, OrderOnTheSharedAxisIsPreserved) {
+  std::vector<double> low{1000, 1010, 1020, 1030};
+  std::vector<double> high{2000, 2010, 2020, 2030};
+  std::vector<LabelledBox> boxes{{"low", boxPlot(low)}, {"high", boxPlot(high)}};
+  PlotOptions options;
+  options.width = 60;
+  const auto out = renderBoxes(boxes, options);
+  const auto lowLine = out.substr(0, out.find('\n'));
+  const auto rest = out.substr(out.find('\n') + 1);
+  const auto highLine = rest.substr(0, rest.find('\n'));
+  EXPECT_LT(lowLine.find('M'), highLine.find('M'));
+}
+
+TEST(Boxes, EmptyInputThrows) {
+  EXPECT_THROW(renderBoxes(std::vector<LabelledBox>{}), util::ContractError);
+}
+
+}  // namespace
+}  // namespace beesim::stats

@@ -1,0 +1,86 @@
+#include "stats/bimodal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace beesim::stats {
+namespace {
+
+std::vector<double> gaussianCloud(util::Rng& rng, double mean, double sd, int n) {
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(mean, sd);
+  return xs;
+}
+
+TEST(Bimodal, TwoWellSeparatedCloudsDetected) {
+  // The Fig. 6a situation: (1,3) runs near 1460 MiB/s, (0,4)-ish runs near
+  // 1100, same stripe count.
+  util::Rng rng(1);
+  auto xs = gaussianCloud(rng, 1100.0, 30.0, 60);
+  const auto upper = gaussianCloud(rng, 1460.0, 30.0, 40);
+  xs.insert(xs.end(), upper.begin(), upper.end());
+
+  const auto result = twoMeansSplit(xs);
+  EXPECT_NEAR(result.lowerMean, 1100.0, 20.0);
+  EXPECT_NEAR(result.upperMean, 1460.0, 20.0);
+  EXPECT_EQ(result.lowerCount, 60u);
+  EXPECT_EQ(result.upperCount, 40u);
+  EXPECT_GT(result.separation, 2.0);
+  EXPECT_GT(result.varianceExplained, 0.9);
+  EXPECT_TRUE(isBimodal(result, xs.size()));
+}
+
+TEST(Bimodal, SingleGaussianNotBimodal) {
+  util::Rng rng(2);
+  const auto xs = gaussianCloud(rng, 2200.0, 80.0, 100);
+  const auto result = twoMeansSplit(xs);
+  EXPECT_FALSE(isBimodal(result, xs.size()));
+  EXPECT_LT(result.varianceExplained, 0.85);
+}
+
+TEST(Bimodal, TinyMinorityModeRejectedByModeFraction) {
+  util::Rng rng(3);
+  auto xs = gaussianCloud(rng, 1000.0, 10.0, 97);
+  const auto outliers = gaussianCloud(rng, 2000.0, 10.0, 3);
+  xs.insert(xs.end(), outliers.begin(), outliers.end());
+  const auto result = twoMeansSplit(xs);
+  // Strong separation, but only 3% in the upper mode.
+  EXPECT_FALSE(isBimodal(result, xs.size(), 0.15, 2.0));
+  EXPECT_TRUE(isBimodal(result, xs.size(), 0.01, 2.0));
+}
+
+TEST(Bimodal, ConstantSampleIsDegenerate) {
+  const std::vector<double> xs{5.0, 5.0, 5.0, 5.0};
+  const auto result = twoMeansSplit(xs);
+  EXPECT_DOUBLE_EQ(result.separation, 0.0);
+  EXPECT_FALSE(isBimodal(result, xs.size()));
+}
+
+TEST(Bimodal, SplitPointSitsBetweenModes) {
+  util::Rng rng(4);
+  auto xs = gaussianCloud(rng, 10.0, 0.5, 30);
+  const auto upper = gaussianCloud(rng, 20.0, 0.5, 30);
+  xs.insert(xs.end(), upper.begin(), upper.end());
+  const auto result = twoMeansSplit(xs);
+  EXPECT_GT(result.splitPoint, 12.0);
+  EXPECT_LT(result.splitPoint, 18.0);
+}
+
+TEST(Bimodal, NeedsAtLeastFourPoints) {
+  EXPECT_THROW(twoMeansSplit(std::vector<double>{1.0, 2.0, 3.0}), util::ContractError);
+  EXPECT_THROW(isBimodal(BimodalityResult{}, 0), util::ContractError);
+}
+
+TEST(Bimodal, DescribeMentionsModes) {
+  const std::vector<double> xs{1.0, 1.1, 9.0, 9.1};
+  const auto text = twoMeansSplit(xs).describe();
+  EXPECT_NE(text.find("modes"), std::string::npos);
+  EXPECT_NE(text.find("separation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace beesim::stats

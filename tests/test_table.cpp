@@ -1,0 +1,45 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace beesim::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  TableWriter table({"name", "value"});
+  table.addRow({"alpha", "1.5"});
+  table.addRow({"beta", "22.0"});
+  const auto out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.0"), std::string::npos);
+  EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TableWriter table({"a", "b"});
+  EXPECT_THROW(table.addRow({"x"}), ContractError);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(TableWriter({}), ContractError);
+}
+
+TEST(Table, NumericCellsRightAlign) {
+  TableWriter table({"metric", "wide-header-col"});
+  table.addRow({"bw", "7"});
+  const auto out = table.render();
+  // The numeric "7" should be padded on the left up to the header width.
+  EXPECT_NE(out.find("              7"), std::string::npos);
+}
+
+TEST(Fmt, FixedDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1460.26), "1460.3");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace beesim::util

@@ -1,0 +1,132 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "beegfs/deployment.hpp"
+#include "beegfs/filesystem.hpp"
+#include "ior/runner.hpp"
+#include "topology/plafrim.hpp"
+#include "util/json.hpp"
+#include "util/string_util.hpp"
+#include "util/units.hpp"
+
+namespace beesim::sim {
+namespace {
+
+using namespace beesim::util::literals;
+
+TEST(Trace, RecordsStartRatesComplete) {
+  FluidSimulator fluid;
+  FlowTracer tracer(fluid);
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(100.0)});
+  fluid.startFlow(FlowSpec{.path = {link}, .bytes = 100_MiB, .queueWeight = 1.0,
+                           .rateCap = 0.0, .onComplete = nullptr});
+  fluid.run();
+
+  ASSERT_GE(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.events().front().kind, TraceEvent::Kind::kStart);
+  EXPECT_EQ(tracer.events().back().kind, TraceEvent::Kind::kComplete);
+  EXPECT_EQ(tracer.events().back().bytes, 100_MiB);
+  EXPECT_NEAR(tracer.events().back().meanRate, 100.0, 1e-6);
+}
+
+TEST(Trace, ResourceUsageBanksExactBytes) {
+  FluidSimulator fluid;
+  FlowTracer tracer(fluid);
+  const auto a = fluid.addResource(ResourceSpec{"a", constantCapacity(100.0)});
+  const auto b = fluid.addResource(ResourceSpec{"b", constantCapacity(50.0)});
+  // Two flows: one crosses a only, one crosses a and b.
+  fluid.startFlow(FlowSpec{.path = {a}, .bytes = 60_MiB, .queueWeight = 1.0,
+                           .rateCap = 0.0, .onComplete = nullptr});
+  fluid.startFlow(FlowSpec{.path = {a, b}, .bytes = 30_MiB, .queueWeight = 1.0,
+                           .rateCap = 0.0, .onComplete = nullptr});
+  fluid.run();
+
+  EXPECT_NEAR(tracer.resourceMiB(a), 90.0, 1e-6);  // both flows
+  EXPECT_NEAR(tracer.resourceMiB(b), 30.0, 1e-6);  // only the second
+  const auto usage = tracer.resourceUsage();
+  ASSERT_EQ(usage.size(), 2u);
+  EXPECT_EQ(usage[0].name, "a");
+  EXPECT_GT(usage[0].peakRate, 0.0);
+  EXPECT_GT(usage[0].busyTime, 0.0);
+}
+
+TEST(Trace, JsonlLinesAreValidJson) {
+  FluidSimulator fluid;
+  FlowTracer tracer(fluid);
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(10.0)});
+  fluid.startFlow(FlowSpec{.path = {link}, .bytes = 10_MiB, .queueWeight = 1.0,
+                           .rateCap = 0.0, .onComplete = nullptr});
+  fluid.run();
+
+  const auto jsonl = tracer.toJsonl();
+  int lines = 0;
+  for (const auto& line : util::split(jsonl, '\n')) {
+    if (line.empty()) continue;
+    ++lines;
+    const auto doc = util::parseJson(line);
+    EXPECT_TRUE(doc.isObject());
+    EXPECT_TRUE(doc.has("ev"));
+    EXPECT_TRUE(doc.has("t"));
+  }
+  EXPECT_GE(lines, 3);
+}
+
+TEST(Trace, EndToEndOstTrafficDecomposition) {
+  // The headline use: trace a whole IOR run and decompose traffic per OST.
+  // A (1,3) allocation must put 1/4 of the bytes on each used target and
+  // 3/4 of the total through server 2's link.
+  FluidSimulator fluid;
+  auto cluster = topo::makePlafrim(topo::Scenario::kEthernet10G, 4);
+  cluster.network.serverLinkNoiseSigmaLog = 0.0;
+  for (auto& host : cluster.hosts) {
+    for (auto& target : host.targets) target.variability = topo::VariabilitySpec{};
+  }
+  beegfs::Deployment deployment(fluid, cluster, beegfs::BeegfsParams{}, util::Rng(1));
+  beegfs::FileSystem fs(deployment, util::Rng(2));
+  FlowTracer tracer(fluid);
+
+  ior::IorOptions options;
+  options.blockSize = ior::blockSizeForTotal(8_GiB, 32);
+  const auto result = ior::runIor(fs, ior::IorJob::onFirstNodes(4, 8), options,
+                                  std::vector<std::size_t>{0, 4, 5, 6});
+
+  const double totalMiB = util::toMiB(result.totalBytes);
+  for (const auto target : result.targetsUsed) {
+    EXPECT_NEAR(tracer.resourceMiB(deployment.ostResource(target)), totalMiB / 4.0,
+                totalMiB * 1e-6);
+  }
+  EXPECT_NEAR(tracer.resourceMiB(deployment.serverNicResource(1)), 0.75 * totalMiB,
+              totalMiB * 1e-6);
+  EXPECT_NEAR(tracer.resourceMiB(deployment.serverNicResource(0)), 0.25 * totalMiB,
+              totalMiB * 1e-6);
+}
+
+TEST(Trace, WriteJsonlToFile) {
+  FluidSimulator fluid;
+  FlowTracer tracer(fluid);
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(10.0)});
+  fluid.startFlow(FlowSpec{.path = {link}, .bytes = 1_MiB, .queueWeight = 1.0,
+                           .rateCap = 0.0, .onComplete = nullptr});
+  fluid.run();
+  const auto path = std::filesystem::temp_directory_path() / "beesim_trace_test.jsonl";
+  tracer.writeJsonl(path);
+  EXPECT_GT(std::filesystem::file_size(path), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, DetachesOnDestruction) {
+  FluidSimulator fluid;
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(10.0)});
+  {
+    FlowTracer tracer(fluid);
+  }
+  // No dangling observer: the simulation must run fine after detach.
+  fluid.startFlow(FlowSpec{.path = {link}, .bytes = 1_MiB, .queueWeight = 1.0,
+                           .rateCap = 0.0, .onComplete = nullptr});
+  fluid.run();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace beesim::sim
