@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_chooser.dir/abl_chooser.cpp.o"
+  "CMakeFiles/abl_chooser.dir/abl_chooser.cpp.o.d"
+  "abl_chooser"
+  "abl_chooser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_chooser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_default_change.dir/abl_default_change.cpp.o"
+  "CMakeFiles/abl_default_change.dir/abl_default_change.cpp.o.d"
+  "abl_default_change"
+  "abl_default_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_default_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

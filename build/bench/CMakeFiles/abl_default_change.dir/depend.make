@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_default_change.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_checkpoint_apps.dir/ext_checkpoint_apps.cpp.o"
+  "CMakeFiles/ext_checkpoint_apps.dir/ext_checkpoint_apps.cpp.o.d"
+  "ext_checkpoint_apps"
+  "ext_checkpoint_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_checkpoint_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nn_pattern.dir/ext_nn_pattern.cpp.o"
+  "CMakeFiles/ext_nn_pattern.dir/ext_nn_pattern.cpp.o.d"
+  "ext_nn_pattern"
+  "ext_nn_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nn_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_read_stripecount.dir/ext_read_stripecount.cpp.o"
+  "CMakeFiles/ext_read_stripecount.dir/ext_read_stripecount.cpp.o.d"
+  "ext_read_stripecount"
+  "ext_read_stripecount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_read_stripecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_datasize.dir/fig02_datasize.cpp.o"
+  "CMakeFiles/fig02_datasize.dir/fig02_datasize.cpp.o.d"
+  "fig02_datasize"
+  "fig02_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_network_model.cpp" "bench/CMakeFiles/fig03_network_model.dir/fig03_network_model.cpp.o" "gcc" "bench/CMakeFiles/fig03_network_model.dir/fig03_network_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/beesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/beesim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/beesim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ior/CMakeFiles/beesim_ior.dir/DependInfo.cmake"
+  "/root/repo/build/src/beegfs/CMakeFiles/beesim_beegfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/beesim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/beesim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/beesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/beesim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

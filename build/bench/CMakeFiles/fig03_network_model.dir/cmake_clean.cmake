@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_network_model.dir/fig03_network_model.cpp.o"
+  "CMakeFiles/fig03_network_model.dir/fig03_network_model.cpp.o.d"
+  "fig03_network_model"
+  "fig03_network_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_network_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_nodes.dir/fig04_nodes.cpp.o"
+  "CMakeFiles/fig04_nodes.dir/fig04_nodes.cpp.o.d"
+  "fig04_nodes"
+  "fig04_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

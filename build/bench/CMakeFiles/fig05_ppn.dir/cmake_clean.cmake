@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ppn.dir/fig05_ppn.cpp.o"
+  "CMakeFiles/fig05_ppn.dir/fig05_ppn.cpp.o.d"
+  "fig05_ppn"
+  "fig05_ppn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ppn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

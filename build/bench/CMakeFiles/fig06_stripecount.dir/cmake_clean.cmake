@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_stripecount.dir/fig06_stripecount.cpp.o"
+  "CMakeFiles/fig06_stripecount.dir/fig06_stripecount.cpp.o.d"
+  "fig06_stripecount"
+  "fig06_stripecount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_stripecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

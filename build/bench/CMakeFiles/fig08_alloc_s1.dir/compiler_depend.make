@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_alloc_s1.
+# This may be replaced when dependencies are built.

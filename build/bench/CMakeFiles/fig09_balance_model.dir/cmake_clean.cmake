@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_balance_model.dir/fig09_balance_model.cpp.o"
+  "CMakeFiles/fig09_balance_model.dir/fig09_balance_model.cpp.o.d"
+  "fig09_balance_model"
+  "fig09_balance_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_balance_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

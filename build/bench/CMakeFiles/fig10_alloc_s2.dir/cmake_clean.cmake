@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_alloc_s2.dir/fig10_alloc_s2.cpp.o"
+  "CMakeFiles/fig10_alloc_s2.dir/fig10_alloc_s2.cpp.o.d"
+  "fig10_alloc_s2"
+  "fig10_alloc_s2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_alloc_s2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

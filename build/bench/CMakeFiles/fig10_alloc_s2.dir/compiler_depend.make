@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_alloc_s2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_nodes_stripes.dir/fig11_nodes_stripes.cpp.o"
+  "CMakeFiles/fig11_nodes_stripes.dir/fig11_nodes_stripes.cpp.o.d"
+  "fig11_nodes_stripes"
+  "fig11_nodes_stripes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nodes_stripes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

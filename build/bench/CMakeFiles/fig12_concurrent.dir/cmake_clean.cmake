@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_concurrent.dir/fig12_concurrent.cpp.o"
+  "CMakeFiles/fig12_concurrent.dir/fig12_concurrent.cpp.o.d"
+  "fig12_concurrent"
+  "fig12_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

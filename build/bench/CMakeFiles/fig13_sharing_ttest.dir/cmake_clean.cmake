@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sharing_ttest.dir/fig13_sharing_ttest.cpp.o"
+  "CMakeFiles/fig13_sharing_ttest.dir/fig13_sharing_ttest.cpp.o.d"
+  "fig13_sharing_ttest"
+  "fig13_sharing_ttest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sharing_ttest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

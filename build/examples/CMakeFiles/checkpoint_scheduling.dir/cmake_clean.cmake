@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_scheduling.dir/checkpoint_scheduling.cpp.o"
+  "CMakeFiles/checkpoint_scheduling.dir/checkpoint_scheduling.cpp.o.d"
+  "checkpoint_scheduling"
+  "checkpoint_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

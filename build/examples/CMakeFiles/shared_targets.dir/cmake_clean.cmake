@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_targets.dir/shared_targets.cpp.o"
+  "CMakeFiles/shared_targets.dir/shared_targets.cpp.o.d"
+  "shared_targets"
+  "shared_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stripe_count_tuning.dir/stripe_count_tuning.cpp.o"
+  "CMakeFiles/stripe_count_tuning.dir/stripe_count_tuning.cpp.o.d"
+  "stripe_count_tuning"
+  "stripe_count_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stripe_count_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

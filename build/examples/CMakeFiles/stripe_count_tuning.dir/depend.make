@@ -1,0 +1,2 @@
+# Empty dependencies file for stripe_count_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_apps.dir/checkpoint.cpp.o"
+  "CMakeFiles/beesim_apps.dir/checkpoint.cpp.o.d"
+  "libbeesim_apps.a"
+  "libbeesim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/beegfs/chooser.cpp" "src/beegfs/CMakeFiles/beesim_beegfs.dir/chooser.cpp.o" "gcc" "src/beegfs/CMakeFiles/beesim_beegfs.dir/chooser.cpp.o.d"
+  "/root/repo/src/beegfs/deployment.cpp" "src/beegfs/CMakeFiles/beesim_beegfs.dir/deployment.cpp.o" "gcc" "src/beegfs/CMakeFiles/beesim_beegfs.dir/deployment.cpp.o.d"
+  "/root/repo/src/beegfs/filesystem.cpp" "src/beegfs/CMakeFiles/beesim_beegfs.dir/filesystem.cpp.o" "gcc" "src/beegfs/CMakeFiles/beesim_beegfs.dir/filesystem.cpp.o.d"
+  "/root/repo/src/beegfs/meta.cpp" "src/beegfs/CMakeFiles/beesim_beegfs.dir/meta.cpp.o" "gcc" "src/beegfs/CMakeFiles/beesim_beegfs.dir/meta.cpp.o.d"
+  "/root/repo/src/beegfs/mgmt.cpp" "src/beegfs/CMakeFiles/beesim_beegfs.dir/mgmt.cpp.o" "gcc" "src/beegfs/CMakeFiles/beesim_beegfs.dir/mgmt.cpp.o.d"
+  "/root/repo/src/beegfs/stripe.cpp" "src/beegfs/CMakeFiles/beesim_beegfs.dir/stripe.cpp.o" "gcc" "src/beegfs/CMakeFiles/beesim_beegfs.dir/stripe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/beesim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/beesim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/beesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_beegfs.dir/chooser.cpp.o"
+  "CMakeFiles/beesim_beegfs.dir/chooser.cpp.o.d"
+  "CMakeFiles/beesim_beegfs.dir/deployment.cpp.o"
+  "CMakeFiles/beesim_beegfs.dir/deployment.cpp.o.d"
+  "CMakeFiles/beesim_beegfs.dir/filesystem.cpp.o"
+  "CMakeFiles/beesim_beegfs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/beesim_beegfs.dir/meta.cpp.o"
+  "CMakeFiles/beesim_beegfs.dir/meta.cpp.o.d"
+  "CMakeFiles/beesim_beegfs.dir/mgmt.cpp.o"
+  "CMakeFiles/beesim_beegfs.dir/mgmt.cpp.o.d"
+  "CMakeFiles/beesim_beegfs.dir/stripe.cpp.o"
+  "CMakeFiles/beesim_beegfs.dir/stripe.cpp.o.d"
+  "libbeesim_beegfs.a"
+  "libbeesim_beegfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_beegfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

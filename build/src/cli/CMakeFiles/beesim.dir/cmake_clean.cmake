@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim.dir/main.cpp.o"
+  "CMakeFiles/beesim.dir/main.cpp.o.d"
+  "beesim"
+  "beesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

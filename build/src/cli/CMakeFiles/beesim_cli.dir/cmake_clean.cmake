@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_cli.dir/args.cpp.o"
+  "CMakeFiles/beesim_cli.dir/args.cpp.o.d"
+  "CMakeFiles/beesim_cli.dir/commands.cpp.o"
+  "CMakeFiles/beesim_cli.dir/commands.cpp.o.d"
+  "libbeesim_cli.a"
+  "libbeesim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

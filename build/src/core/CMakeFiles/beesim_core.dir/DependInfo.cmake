@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/beesim_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/beesim_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/allocation.cpp" "src/core/CMakeFiles/beesim_core.dir/allocation.cpp.o" "gcc" "src/core/CMakeFiles/beesim_core.dir/allocation.cpp.o.d"
+  "/root/repo/src/core/analytic.cpp" "src/core/CMakeFiles/beesim_core.dir/analytic.cpp.o" "gcc" "src/core/CMakeFiles/beesim_core.dir/analytic.cpp.o.d"
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/beesim_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/beesim_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/checks.cpp" "src/core/CMakeFiles/beesim_core.dir/checks.cpp.o" "gcc" "src/core/CMakeFiles/beesim_core.dir/checks.cpp.o.d"
+  "/root/repo/src/core/sharing.cpp" "src/core/CMakeFiles/beesim_core.dir/sharing.cpp.o" "gcc" "src/core/CMakeFiles/beesim_core.dir/sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/beesim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/beesim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/beesim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/beesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_core.dir/advisor.cpp.o"
+  "CMakeFiles/beesim_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/allocation.cpp.o"
+  "CMakeFiles/beesim_core.dir/allocation.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/analytic.cpp.o"
+  "CMakeFiles/beesim_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/analyzer.cpp.o"
+  "CMakeFiles/beesim_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/checks.cpp.o"
+  "CMakeFiles/beesim_core.dir/checks.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/sharing.cpp.o"
+  "CMakeFiles/beesim_core.dir/sharing.cpp.o.d"
+  "libbeesim_core.a"
+  "libbeesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/campaign.cpp" "src/harness/CMakeFiles/beesim_harness.dir/campaign.cpp.o" "gcc" "src/harness/CMakeFiles/beesim_harness.dir/campaign.cpp.o.d"
+  "/root/repo/src/harness/concurrent.cpp" "src/harness/CMakeFiles/beesim_harness.dir/concurrent.cpp.o" "gcc" "src/harness/CMakeFiles/beesim_harness.dir/concurrent.cpp.o.d"
+  "/root/repo/src/harness/interference.cpp" "src/harness/CMakeFiles/beesim_harness.dir/interference.cpp.o" "gcc" "src/harness/CMakeFiles/beesim_harness.dir/interference.cpp.o.d"
+  "/root/repo/src/harness/protocol.cpp" "src/harness/CMakeFiles/beesim_harness.dir/protocol.cpp.o" "gcc" "src/harness/CMakeFiles/beesim_harness.dir/protocol.cpp.o.d"
+  "/root/repo/src/harness/run.cpp" "src/harness/CMakeFiles/beesim_harness.dir/run.cpp.o" "gcc" "src/harness/CMakeFiles/beesim_harness.dir/run.cpp.o.d"
+  "/root/repo/src/harness/store.cpp" "src/harness/CMakeFiles/beesim_harness.dir/store.cpp.o" "gcc" "src/harness/CMakeFiles/beesim_harness.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ior/CMakeFiles/beesim_ior.dir/DependInfo.cmake"
+  "/root/repo/build/src/beegfs/CMakeFiles/beesim_beegfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/beesim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/beesim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/beesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

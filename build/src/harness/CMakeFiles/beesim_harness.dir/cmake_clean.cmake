@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_harness.dir/campaign.cpp.o"
+  "CMakeFiles/beesim_harness.dir/campaign.cpp.o.d"
+  "CMakeFiles/beesim_harness.dir/concurrent.cpp.o"
+  "CMakeFiles/beesim_harness.dir/concurrent.cpp.o.d"
+  "CMakeFiles/beesim_harness.dir/interference.cpp.o"
+  "CMakeFiles/beesim_harness.dir/interference.cpp.o.d"
+  "CMakeFiles/beesim_harness.dir/protocol.cpp.o"
+  "CMakeFiles/beesim_harness.dir/protocol.cpp.o.d"
+  "CMakeFiles/beesim_harness.dir/run.cpp.o"
+  "CMakeFiles/beesim_harness.dir/run.cpp.o.d"
+  "CMakeFiles/beesim_harness.dir/store.cpp.o"
+  "CMakeFiles/beesim_harness.dir/store.cpp.o.d"
+  "libbeesim_harness.a"
+  "libbeesim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_ior.dir/options.cpp.o"
+  "CMakeFiles/beesim_ior.dir/options.cpp.o.d"
+  "CMakeFiles/beesim_ior.dir/runner.cpp.o"
+  "CMakeFiles/beesim_ior.dir/runner.cpp.o.d"
+  "libbeesim_ior.a"
+  "libbeesim_ior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_ior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

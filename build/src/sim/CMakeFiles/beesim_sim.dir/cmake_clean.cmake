@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_sim.dir/fluid.cpp.o"
+  "CMakeFiles/beesim_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/beesim_sim.dir/maxmin.cpp.o"
+  "CMakeFiles/beesim_sim.dir/maxmin.cpp.o.d"
+  "CMakeFiles/beesim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/beesim_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/beesim_sim.dir/trace.cpp.o"
+  "CMakeFiles/beesim_sim.dir/trace.cpp.o.d"
+  "libbeesim_sim.a"
+  "libbeesim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

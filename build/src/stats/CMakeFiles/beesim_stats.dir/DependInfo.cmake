@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bimodal.cpp" "src/stats/CMakeFiles/beesim_stats.dir/bimodal.cpp.o" "gcc" "src/stats/CMakeFiles/beesim_stats.dir/bimodal.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/beesim_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/beesim_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/stats/CMakeFiles/beesim_stats.dir/ks.cpp.o" "gcc" "src/stats/CMakeFiles/beesim_stats.dir/ks.cpp.o.d"
+  "/root/repo/src/stats/plot.cpp" "src/stats/CMakeFiles/beesim_stats.dir/plot.cpp.o" "gcc" "src/stats/CMakeFiles/beesim_stats.dir/plot.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/beesim_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/beesim_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/beesim_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/beesim_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/beesim_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/beesim_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/ttest.cpp" "src/stats/CMakeFiles/beesim_stats.dir/ttest.cpp.o" "gcc" "src/stats/CMakeFiles/beesim_stats.dir/ttest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_stats.dir/bimodal.cpp.o"
+  "CMakeFiles/beesim_stats.dir/bimodal.cpp.o.d"
+  "CMakeFiles/beesim_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/beesim_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/beesim_stats.dir/ks.cpp.o"
+  "CMakeFiles/beesim_stats.dir/ks.cpp.o.d"
+  "CMakeFiles/beesim_stats.dir/plot.cpp.o"
+  "CMakeFiles/beesim_stats.dir/plot.cpp.o.d"
+  "CMakeFiles/beesim_stats.dir/regression.cpp.o"
+  "CMakeFiles/beesim_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/beesim_stats.dir/special.cpp.o"
+  "CMakeFiles/beesim_stats.dir/special.cpp.o.d"
+  "CMakeFiles/beesim_stats.dir/summary.cpp.o"
+  "CMakeFiles/beesim_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/beesim_stats.dir/ttest.cpp.o"
+  "CMakeFiles/beesim_stats.dir/ttest.cpp.o.d"
+  "libbeesim_stats.a"
+  "libbeesim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_storage.dir/device.cpp.o"
+  "CMakeFiles/beesim_storage.dir/device.cpp.o.d"
+  "CMakeFiles/beesim_storage.dir/variability.cpp.o"
+  "CMakeFiles/beesim_storage.dir/variability.cpp.o.d"
+  "libbeesim_storage.a"
+  "libbeesim_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

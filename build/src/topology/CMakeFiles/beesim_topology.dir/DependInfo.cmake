@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/catalyst.cpp" "src/topology/CMakeFiles/beesim_topology.dir/catalyst.cpp.o" "gcc" "src/topology/CMakeFiles/beesim_topology.dir/catalyst.cpp.o.d"
+  "/root/repo/src/topology/cluster.cpp" "src/topology/CMakeFiles/beesim_topology.dir/cluster.cpp.o" "gcc" "src/topology/CMakeFiles/beesim_topology.dir/cluster.cpp.o.d"
+  "/root/repo/src/topology/loader.cpp" "src/topology/CMakeFiles/beesim_topology.dir/loader.cpp.o" "gcc" "src/topology/CMakeFiles/beesim_topology.dir/loader.cpp.o.d"
+  "/root/repo/src/topology/plafrim.cpp" "src/topology/CMakeFiles/beesim_topology.dir/plafrim.cpp.o" "gcc" "src/topology/CMakeFiles/beesim_topology.dir/plafrim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/beesim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/beesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_topology.dir/catalyst.cpp.o"
+  "CMakeFiles/beesim_topology.dir/catalyst.cpp.o.d"
+  "CMakeFiles/beesim_topology.dir/cluster.cpp.o"
+  "CMakeFiles/beesim_topology.dir/cluster.cpp.o.d"
+  "CMakeFiles/beesim_topology.dir/loader.cpp.o"
+  "CMakeFiles/beesim_topology.dir/loader.cpp.o.d"
+  "CMakeFiles/beesim_topology.dir/plafrim.cpp.o"
+  "CMakeFiles/beesim_topology.dir/plafrim.cpp.o.d"
+  "libbeesim_topology.a"
+  "libbeesim_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_util.dir/csv.cpp.o"
+  "CMakeFiles/beesim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/json.cpp.o"
+  "CMakeFiles/beesim_util.dir/json.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/log.cpp.o"
+  "CMakeFiles/beesim_util.dir/log.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/rng.cpp.o"
+  "CMakeFiles/beesim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/string_util.cpp.o"
+  "CMakeFiles/beesim_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/table.cpp.o"
+  "CMakeFiles/beesim_util.dir/table.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/units.cpp.o"
+  "CMakeFiles/beesim_util.dir/units.cpp.o.d"
+  "libbeesim_util.a"
+  "libbeesim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

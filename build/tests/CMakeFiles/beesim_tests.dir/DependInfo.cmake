@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_advisor.cpp" "tests/CMakeFiles/beesim_tests.dir/test_advisor.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_advisor.cpp.o.d"
+  "/root/repo/tests/test_allocation.cpp" "tests/CMakeFiles/beesim_tests.dir/test_allocation.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_allocation.cpp.o.d"
+  "/root/repo/tests/test_analytic.cpp" "tests/CMakeFiles/beesim_tests.dir/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_analytic.cpp.o.d"
+  "/root/repo/tests/test_bootstrap.cpp" "tests/CMakeFiles/beesim_tests.dir/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/beesim_tests.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_chooser.cpp" "tests/CMakeFiles/beesim_tests.dir/test_chooser.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_chooser.cpp.o.d"
+  "/root/repo/tests/test_cli_args.cpp" "tests/CMakeFiles/beesim_tests.dir/test_cli_args.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_cli_args.cpp.o.d"
+  "/root/repo/tests/test_cli_commands.cpp" "tests/CMakeFiles/beesim_tests.dir/test_cli_commands.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_cli_commands.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/beesim_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/beesim_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_deployment.cpp" "tests/CMakeFiles/beesim_tests.dir/test_deployment.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_deployment.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/beesim_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/beesim_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/beesim_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_filesystem.cpp" "tests/CMakeFiles/beesim_tests.dir/test_filesystem.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_filesystem.cpp.o.d"
+  "/root/repo/tests/test_fluid.cpp" "tests/CMakeFiles/beesim_tests.dir/test_fluid.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_fluid.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/beesim_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/beesim_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ior_options.cpp" "tests/CMakeFiles/beesim_tests.dir/test_ior_options.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_ior_options.cpp.o.d"
+  "/root/repo/tests/test_ior_runner.cpp" "tests/CMakeFiles/beesim_tests.dir/test_ior_runner.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_ior_runner.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/beesim_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_loader.cpp" "tests/CMakeFiles/beesim_tests.dir/test_loader.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_loader.cpp.o.d"
+  "/root/repo/tests/test_maxmin.cpp" "tests/CMakeFiles/beesim_tests.dir/test_maxmin.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_maxmin.cpp.o.d"
+  "/root/repo/tests/test_meta.cpp" "tests/CMakeFiles/beesim_tests.dir/test_meta.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_meta.cpp.o.d"
+  "/root/repo/tests/test_mgmt.cpp" "tests/CMakeFiles/beesim_tests.dir/test_mgmt.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_mgmt.cpp.o.d"
+  "/root/repo/tests/test_plot.cpp" "tests/CMakeFiles/beesim_tests.dir/test_plot.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_plot.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/beesim_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/beesim_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_stats_bimodal.cpp" "tests/CMakeFiles/beesim_tests.dir/test_stats_bimodal.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_stats_bimodal.cpp.o.d"
+  "/root/repo/tests/test_stats_special.cpp" "tests/CMakeFiles/beesim_tests.dir/test_stats_special.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_stats_special.cpp.o.d"
+  "/root/repo/tests/test_stats_summary.cpp" "tests/CMakeFiles/beesim_tests.dir/test_stats_summary.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_stats_summary.cpp.o.d"
+  "/root/repo/tests/test_stats_tests.cpp" "tests/CMakeFiles/beesim_tests.dir/test_stats_tests.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_stats_tests.cpp.o.d"
+  "/root/repo/tests/test_string_util.cpp" "tests/CMakeFiles/beesim_tests.dir/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_string_util.cpp.o.d"
+  "/root/repo/tests/test_stripe.cpp" "tests/CMakeFiles/beesim_tests.dir/test_stripe.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_stripe.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/beesim_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_topologies.cpp" "tests/CMakeFiles/beesim_tests.dir/test_topologies.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_topologies.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/beesim_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/beesim_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_variability.cpp" "tests/CMakeFiles/beesim_tests.dir/test_variability.cpp.o" "gcc" "tests/CMakeFiles/beesim_tests.dir/test_variability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/beesim_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/beesim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/beesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/beesim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ior/CMakeFiles/beesim_ior.dir/DependInfo.cmake"
+  "/root/repo/build/src/beegfs/CMakeFiles/beesim_beegfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/beesim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/beesim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/beesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/beesim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
