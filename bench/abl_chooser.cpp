@@ -11,7 +11,8 @@
 
 using namespace beesim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const std::vector<std::pair<beegfs::ChooserKind, std::string>> choosers{
       {beegfs::ChooserKind::kRoundRobin, "round-robin (deployed)"},
       {beegfs::ChooserKind::kRandom, "random (BeeGFS default)"},
@@ -31,7 +32,8 @@ int main() {
       entries.push_back(std::move(entry));
     }
   }
-  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 151);
+  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 151, nullptr,
+                                              bench::executorOptions("abl_chooser"));
 
   std::map<std::string, std::map<unsigned, stats::Summary>> results;
   util::TableWriter table({"chooser", "count", "mean MiB/s", "sd", "min", "max"});

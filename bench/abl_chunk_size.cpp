@@ -15,7 +15,8 @@
 using namespace beesim;
 using namespace beesim::util::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const std::vector<util::Bytes> chunkSizes{64_KiB, 256_KiB, 512_KiB, 1_MiB, 4_MiB};
   core::CheckList checks("Ablation A3 -- chunk size");
 
@@ -34,7 +35,8 @@ int main() {
       entries.push_back(std::move(entry));
     }
     const auto store =
-        harness::executeCampaign(entries, bench::protocolOptions(), s1 ? 191 : 192);
+        harness::executeCampaign(entries, bench::protocolOptions(), s1 ? 191 : 192, nullptr,
+                                 bench::executorOptions("abl_chunk_size"));
 
     util::TableWriter table({"chunk size", "mean MiB/s", "sd"});
     std::map<util::Bytes, double> means;

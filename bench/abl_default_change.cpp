@@ -11,7 +11,8 @@
 
 using namespace beesim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   core::CheckList checks("Ablation A2 -- default stripe count 4 -> 8");
 
   for (const auto scenario : {topo::Scenario::kEthernet10G, topo::Scenario::kOmniPath100G}) {
@@ -28,7 +29,8 @@ int main() {
     const auto cluster = entries.front().config.cluster;
     const auto store = harness::executeCampaign(entries, bench::protocolOptions(),
                                                 s1 ? 161 : 162,
-                                                bench::allocationAnnotator(cluster));
+                                                bench::allocationAnnotator(cluster),
+                                                bench::executorOptions("abl_default_change"));
 
     // Feed the advisor with every (count, allocation, bandwidth) sample.
     core::StripeCountAdvisor advisor;

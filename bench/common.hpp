@@ -11,26 +11,85 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "cli/args.hpp"
 #include "core/allocation.hpp"
 #include "core/checks.hpp"
 #include "harness/campaign.hpp"
 #include "harness/concurrent.hpp"
+#include "harness/executor.hpp"
 #include "ior/options.hpp"
 #include "topology/plafrim.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 namespace beesim::bench {
 
-/// Repetitions per configuration; the paper uses 100.  BEESIM_REPS overrides
-/// (e.g. BEESIM_REPS=10 for a quick pass).
+namespace detail {
+/// Mutable bench-wide settings, written once by parseArgs() before any
+/// worker threads exist.
+struct Settings {
+  std::size_t jobs = harness::defaultJobs();
+  std::size_t repsOverride = 0;  // 0 = use BEESIM_REPS / the paper's 100
+  bool progress = false;
+};
+inline Settings& settings() {
+  static Settings s;
+  return s;
+}
+}  // namespace detail
+
+/// Parse the shared bench flags:
+///   --jobs N      worker threads (0 = all hardware threads); defaults to
+///                 BEESIM_JOBS, else 1.  Results are identical for any N.
+///   --reps N      repetitions per configuration (overrides BEESIM_REPS)
+///   --progress    live status line on stderr (runs done, ETA, slowest config)
+/// Call first thing in every bench main().
+inline void parseArgs(int argc, char** argv) {
+  try {
+    const cli::Args args(std::vector<std::string>(argv + 1, argv + argc), {"progress"});
+    auto& s = detail::settings();
+    s.jobs = args.getUnsigned("jobs", s.jobs);
+    s.repsOverride = args.getUnsigned("reps", 0);
+    s.progress = args.getBool("progress") ||
+                 [] {
+                   const char* env = std::getenv("BEESIM_PROGRESS");
+                   return env != nullptr && env[0] == '1';
+                 }();
+    const auto unused = args.unusedFlags();
+    if (!unused.empty() || !args.positionals().empty()) {
+      std::fprintf(stderr, "usage: %s [--jobs N] [--reps N] [--progress]\n", argv[0]);
+      std::exit(2);
+    }
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    std::exit(2);
+  }
+}
+
+/// Worker threads for campaign execution (see parseArgs / BEESIM_JOBS).
+inline std::size_t jobs() { return detail::settings().jobs; }
+
+/// Repetitions per configuration; the paper uses 100.  --reps and BEESIM_REPS
+/// override (e.g. BEESIM_REPS=10 for a quick pass).
 inline std::size_t repetitions() {
+  if (const auto reps = detail::settings().repsOverride; reps >= 1) return reps;
   if (const char* env = std::getenv("BEESIM_REPS")) {
     const long value = std::strtol(env, nullptr, 10);
     if (value >= 1) return static_cast<std::size_t>(value);
   }
   return 100;
+}
+
+/// Executor options for this bench process: --jobs worker threads plus the
+/// stderr progress line when enabled.
+inline harness::ExecutorOptions executorOptions(const std::string& label = "campaign") {
+  harness::ExecutorOptions exec;
+  exec.jobs = jobs();
+  if (detail::settings().progress) exec.onProgress = harness::stderrProgress(label);
+  return exec;
 }
 
 /// Protocol options used by all benches (paper Section III-C).

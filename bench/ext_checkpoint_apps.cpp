@@ -67,7 +67,8 @@ PairOutcome runPair(util::Seconds offset, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const auto reps = std::min<std::size_t>(bench::repetitions(), 40);
 
   // Offsets as a fraction of the burst-free period: 0 = fully synchronized.
@@ -77,10 +78,12 @@ int main() {
   std::map<double, double> burst;
   std::map<double, double> makespan;
   for (const auto offset : offsets) {
+    // Seed-isolated repetitions: parallel map, then fold in rep order.
+    const auto outcomes = harness::parallelMap<PairOutcome>(
+        reps, bench::jobs(), [&](std::size_t rep) { return runPair(offset, 19000 + rep); });
     std::vector<double> bursts;
     std::vector<double> spans;
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      const auto outcome = runPair(offset, 19000 + rep);
+    for (const auto& outcome : outcomes) {
       bursts.push_back(outcome.meanBurstSeconds);
       spans.push_back(outcome.makespan);
     }

@@ -16,7 +16,8 @@
 
 using namespace beesim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const std::vector<unsigned> counts{1, 2, 4, 8};
   std::vector<harness::CampaignEntry> entries;
   for (const auto pattern : {ior::AccessPattern::kSharedFile,
@@ -32,7 +33,8 @@ int main() {
       entries.push_back(std::move(entry));
     }
   }
-  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 171);
+  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 171, nullptr,
+                                              bench::executorOptions("ext_nn_pattern"));
 
   std::map<std::string, std::map<unsigned, stats::Summary>> results;
   std::map<std::string, std::map<unsigned, double>> meta;

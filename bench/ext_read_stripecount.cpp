@@ -13,7 +13,8 @@
 
 using namespace beesim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   core::CheckList checks("Extension -- read performance mirrors write");
 
   for (const auto scenario : {topo::Scenario::kEthernet10G, topo::Scenario::kOmniPath100G}) {
@@ -32,7 +33,8 @@ int main() {
       }
     }
     const auto store =
-        harness::executeCampaign(entries, bench::protocolOptions(), s1 ? 181 : 182);
+        harness::executeCampaign(entries, bench::protocolOptions(), s1 ? 181 : 182, nullptr,
+                                 bench::executorOptions("ext_read_stripecount"));
 
     util::TableWriter table({"count", "write MiB/s", "read MiB/s", "read/write"});
     std::map<unsigned, double> writeMean;

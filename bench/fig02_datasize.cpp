@@ -11,7 +11,8 @@
 using namespace beesim;
 using namespace beesim::util::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const std::vector<util::Bytes> sizes{256_MiB, 1_GiB, 2_GiB, 4_GiB,
                                        8_GiB,   16_GiB, 32_GiB, 64_GiB};
   core::CheckList checks("Fig. 2 -- data size");
@@ -26,7 +27,8 @@ int main() {
     }
     const auto store =
         harness::executeCampaign(entries, bench::protocolOptions(),
-                                 scenario == topo::Scenario::kEthernet10G ? 21 : 22);
+                                 scenario == topo::Scenario::kEthernet10G ? 21 : 22, nullptr,
+                                 bench::executorOptions("fig02"));
 
     util::TableWriter table({"total size", "mean MiB/s", "sd", "min", "max", "cv %"});
     std::vector<stats::Summary> summaries;

@@ -41,7 +41,8 @@ double fluidNetworkBound(std::size_t nodes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const double linkB = topo::PlafrimCalibration{}.s1ServerLink;
   constexpr std::size_t kServers = 2;
 

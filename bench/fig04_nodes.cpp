@@ -11,7 +11,8 @@
 
 using namespace beesim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   core::CheckList checks("Fig. 4 -- compute nodes");
   std::map<std::string, std::vector<double>> meanSeries;  // per scenario
 
@@ -28,8 +29,8 @@ int main() {
       entry.factors["nodes"] = std::to_string(nodes);
       entries.push_back(std::move(entry));
     }
-    const auto store =
-        harness::executeCampaign(entries, bench::protocolOptions(), s1 ? 41 : 42);
+    const auto store = harness::executeCampaign(entries, bench::protocolOptions(), s1 ? 41 : 42,
+                                                nullptr, bench::executorOptions("fig04"));
 
     util::TableWriter table({"nodes", "mean MiB/s", "sd", "min", "max"});
     std::vector<double>& means = meanSeries[s1 ? "s1" : "s2"];

@@ -10,7 +10,8 @@
 
 using namespace beesim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   core::CheckList checks("Fig. 5 -- processes per node");
 
   for (const auto scenario : {topo::Scenario::kEthernet10G, topo::Scenario::kOmniPath100G}) {
@@ -28,8 +29,8 @@ int main() {
         entries.push_back(std::move(entry));
       }
     }
-    const auto store =
-        harness::executeCampaign(entries, bench::protocolOptions(), s1 ? 51 : 52);
+    const auto store = harness::executeCampaign(entries, bench::protocolOptions(), s1 ? 51 : 52,
+                                                nullptr, bench::executorOptions("fig05"));
 
     util::TableWriter table({"nodes", "8 ppn MiB/s", "16 ppn MiB/s", "16/8 ratio"});
     std::map<int, std::map<std::size_t, double>> means;

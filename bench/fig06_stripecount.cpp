@@ -16,7 +16,8 @@
 
 using namespace beesim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   core::CheckList checks("Fig. 6 -- stripe count");
 
   std::map<unsigned, std::vector<double>> s1ByCount;
@@ -36,7 +37,8 @@ int main() {
     const auto cluster = entries.front().config.cluster;
     const auto store = harness::executeCampaign(entries, bench::protocolOptions(),
                                                 s1 ? 61 : 62,
-                                                bench::allocationAnnotator(cluster));
+                                                bench::allocationAnnotator(cluster),
+                                                bench::executorOptions("fig06"));
 
     util::TableWriter table(
         {"count", "mean MiB/s", "sd", "min", "max", "bimodal?", "allocs seen"});

@@ -13,7 +13,8 @@
 
 using namespace beesim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   // Cover every allocation class by pinning placements explicitly (the
   // round-robin chooser alone never produces (2,2) or (0,4), as the paper
   // notes), 100 repetitions each under the usual protocol noise.
@@ -43,7 +44,8 @@ int main() {
     entries.push_back(std::move(entry));
   }
   const auto cluster = entries.front().config.cluster;
-  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 81);
+  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 81, nullptr,
+                                              bench::executorOptions("fig08"));
 
   core::AllocationAnalyzer analyzer;
   for (const auto& [key, targets] : placements) {

@@ -30,7 +30,8 @@ double fluidTime(const std::vector<std::size_t>& targets) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const double linkB = topo::PlafrimCalibration{}.s1ServerLink;
   const auto volume = bench::kTotalData;
 

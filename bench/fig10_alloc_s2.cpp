@@ -11,7 +11,8 @@
 
 using namespace beesim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const std::map<std::string, std::vector<std::size_t>> placements{
       {"(0,1)", {4}},
       {"(1,1)", {0, 4}},
@@ -33,7 +34,8 @@ int main() {
     entries.push_back(std::move(entry));
   }
   const auto cluster = entries.front().config.cluster;
-  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 101);
+  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 101, nullptr,
+                                              bench::executorOptions("fig10"));
 
   core::AllocationAnalyzer analyzer;
   std::map<std::string, double> means;

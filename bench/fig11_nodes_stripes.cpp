@@ -12,7 +12,8 @@
 
 using namespace beesim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const std::vector<std::size_t> nodeCounts{1, 2, 4, 8, 16, 32};
   const std::vector<unsigned> stripeCounts{1, 2, 4, 8};
 
@@ -26,7 +27,8 @@ int main() {
       entries.push_back(std::move(entry));
     }
   }
-  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 111);
+  const auto store = harness::executeCampaign(entries, bench::protocolOptions(), 111, nullptr,
+                                              bench::executorOptions("fig11"));
 
   std::map<unsigned, std::map<std::size_t, double>> mean;
   util::TableWriter table({"nodes", "stripe 1", "stripe 2", "stripe 4", "stripe 8"});

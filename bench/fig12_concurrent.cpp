@@ -66,7 +66,8 @@ double runSingleBaseline(int k, unsigned count, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const auto reps = bench::repetitions();
   core::CheckList checks("Fig. 12 -- concurrent applications");
 
@@ -74,17 +75,27 @@ int main() {
     util::TableWriter table({"OSTs/app", "per-app mean MiB/s", "aggregate (Eq.1)",
                              "single-app baseline", "agg/baseline", "shared targets"});
     for (const unsigned count : {2u, 4u, 8u}) {
+      // Repetitions are seed-isolated: map them across workers and fold the
+      // outcomes in rep order, identical for any --jobs.
+      struct RepOutcome {
+        harness::ConcurrentResult concurrent;
+        double baseline = 0.0;
+      };
+      const auto outcomes = harness::parallelMap<RepOutcome>(
+          reps, bench::jobs(), [&](std::size_t rep) {
+            const auto seed = 12000 + 1000 * static_cast<std::uint64_t>(k) + 100 * count + rep;
+            return RepOutcome{runApps(k, count, seed), runSingleBaseline(k, count, seed + 7)};
+          });
+
       std::vector<double> aggregates;
       std::vector<double> perApp;
       std::vector<double> baselines;
       double sharedTargets = 0.0;
-      for (std::size_t rep = 0; rep < reps; ++rep) {
-        const auto seed = 12000 + 1000 * static_cast<std::uint64_t>(k) + 100 * count + rep;
-        const auto result = runApps(k, count, seed);
-        aggregates.push_back(result.aggregateBandwidth);
-        for (const auto& app : result.apps) perApp.push_back(app.bandwidth);
-        sharedTargets += static_cast<double>(result.sharedTargets);
-        baselines.push_back(runSingleBaseline(k, count, seed + 7));
+      for (const auto& outcome : outcomes) {
+        aggregates.push_back(outcome.concurrent.aggregateBandwidth);
+        for (const auto& app : outcome.concurrent.apps) perApp.push_back(app.bandwidth);
+        sharedTargets += static_cast<double>(outcome.concurrent.sharedTargets);
+        baselines.push_back(outcome.baseline);
       }
       const double aggregate = stats::summarize(aggregates).mean;
       const double baseline = stats::summarize(baselines).mean;

@@ -16,28 +16,35 @@
 using namespace beesim;
 using namespace beesim::util::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const auto reps = bench::repetitions();
 
   harness::RunConfig base;
   base.cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G, 16);
   base.fs.defaultStripe.stripeCount = 4;  // PlaFRIM default
 
+  // Repetitions map across workers (each is seed-isolated); the analyzer is
+  // fed serially in rep order afterwards, so the verdict ignores --jobs.
+  const auto results = harness::parallelMap<harness::ConcurrentResult>(
+      reps, bench::jobs(), [&](std::size_t rep) {
+        std::vector<harness::AppSpec> apps(2);
+        for (int a = 0; a < 2; ++a) {
+          apps[static_cast<std::size_t>(a)].job.ppn = 8;
+          for (std::size_t n = 0; n < 8; ++n) {
+            apps[static_cast<std::size_t>(a)].job.nodeIds.push_back(
+                static_cast<std::size_t>(a) * 8 + n);
+          }
+          apps[static_cast<std::size_t>(a)].ior.blockSize =
+              ior::blockSizeForTotal(32_GiB, apps[static_cast<std::size_t>(a)].job.ranks());
+        }
+        // No pinning: the round-robin chooser (+ create race) decides sharing.
+        return harness::runConcurrent(base, apps, 13000 + rep);
+      });
+
   core::SharingImpactAnalyzer analyzer;
   std::size_t sharedRuns = 0;
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    std::vector<harness::AppSpec> apps(2);
-    for (int a = 0; a < 2; ++a) {
-      apps[static_cast<std::size_t>(a)].job.ppn = 8;
-      for (std::size_t n = 0; n < 8; ++n) {
-        apps[static_cast<std::size_t>(a)].job.nodeIds.push_back(
-            static_cast<std::size_t>(a) * 8 + n);
-      }
-      apps[static_cast<std::size_t>(a)].ior.blockSize =
-          ior::blockSizeForTotal(32_GiB, apps[static_cast<std::size_t>(a)].job.ranks());
-    }
-    // No pinning: the round-robin chooser (+ create race) decides sharing.
-    const auto result = harness::runConcurrent(base, apps, 13000 + rep);
+  for (const auto& result : results) {
     // The paper's two cases: all four targets shared, or none.
     if (result.sharedTargets == 4) {
       ++sharedRuns;

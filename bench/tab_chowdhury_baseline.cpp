@@ -15,7 +15,8 @@
 using namespace beesim;
 using namespace beesim::util::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseArgs(argc, argv);
   const std::vector<unsigned> counts{1, 2, 4, 8, 16, 24};
   core::CheckList checks("Chowdhury baseline -- single node hides the stripe count");
   std::map<std::size_t, std::map<unsigned, double>> mean;
@@ -34,7 +35,8 @@ int main() {
       entries.push_back(std::move(entry));
     }
     const auto store = harness::executeCampaign(entries, bench::protocolOptions(),
-                                                nodes == 1 ? 141 : 142);
+                                                nodes == 1 ? 141 : 142, nullptr,
+                                                bench::executorOptions("tab_chowdhury"));
 
     util::TableWriter table({"stripe count", "mean MiB/s", "sd", "vs count 1"});
     for (const auto count : counts) {

@@ -57,6 +57,15 @@ long Args::getInt(const std::string& name, long fallback) const {
   }
 }
 
+std::size_t Args::getUnsigned(const std::string& name, std::size_t fallback) const {
+  const long value = getInt(name, -1);
+  if (!get(name)) return fallback;
+  if (value < 0) {
+    throw util::ConfigError("flag --" + name + " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
 double Args::getDouble(const std::string& name, double fallback) const {
   const auto value = get(name);
   if (!value) return fallback;

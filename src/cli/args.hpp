@@ -27,6 +27,8 @@ class Args {
   /// values (bad numbers, bad sizes).
   std::string getString(const std::string& name, const std::string& fallback) const;
   long getInt(const std::string& name, long fallback) const;
+  /// Non-negative integer (e.g. --jobs, --reps); rejects negatives.
+  std::size_t getUnsigned(const std::string& name, std::size_t fallback) const;
   double getDouble(const std::string& name, double fallback) const;
   util::Bytes getBytes(const std::string& name, util::Bytes fallback) const;
   bool getBool(const std::string& name) const;

@@ -62,6 +62,15 @@ harness::RunConfig baseConfig(const Args& args, const topo::ClusterConfig& clust
   return config;
 }
 
+/// Shared --jobs/--progress handling: worker count (default BEESIM_JOBS,
+/// else serial) plus an optional stderr status line.
+harness::ExecutorOptions executorOptions(const Args& args, const std::string& label) {
+  harness::ExecutorOptions exec;
+  exec.jobs = args.getUnsigned("jobs", harness::defaultJobs());
+  if (args.getBool("progress")) exec.onProgress = harness::stderrProgress(label);
+  return exec;
+}
+
 void rejectUnknownFlags(const Args& args) {
   const auto unused = args.unusedFlags();
   if (!unused.empty()) {
@@ -109,6 +118,7 @@ int cmdRun(const Args& args, std::ostream& out) {
   const auto pattern = args.getString("pattern", "n1");
   const auto op = args.getString("op", "write");
   const auto traceFile = args.getString("trace", "");
+  const auto exec = executorOptions(args, "run");
   rejectUnknownFlags(args);
 
   config.fs.defaultStripe.stripeCount = stripe;
@@ -132,9 +142,11 @@ int cmdRun(const Args& args, std::ostream& out) {
 
   std::map<std::string, std::size_t> allocationCounts;
   const auto store = harness::executeCampaign(
-      entries, protocol, seed, [&](const harness::RunRecord& record, harness::ResultRow&) {
+      entries, protocol, seed,
+      [&](const harness::RunRecord& record, harness::ResultRow&) {
         ++allocationCounts[core::Allocation(record.ior.targetsUsed, cluster).key()];
-      });
+      },
+      exec);
 
   const auto summary = stats::summarize(store.metric("bandwidth_mibps"));
   out << config.ior.describe() << "  (" << config.job.ranks() << " ranks on "
@@ -173,6 +185,7 @@ int cmdSweep(const Args& args, std::ostream& out) {
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2022));
   const auto total = args.getBytes("total", 32_GiB);
   auto config = baseConfig(args, cluster);
+  const auto exec = executorOptions(args, "sweep");
   rejectUnknownFlags(args);
 
   std::vector<harness::CampaignEntry> entries;
@@ -190,11 +203,13 @@ int cmdSweep(const Args& args, std::ostream& out) {
 
   core::StripeCountAdvisor advisor;
   const auto store = harness::executeCampaign(
-      entries, protocol, seed, [&](const harness::RunRecord& record, harness::ResultRow&) {
+      entries, protocol, seed,
+      [&](const harness::RunRecord& record, harness::ResultRow&) {
         advisor.add(static_cast<unsigned>(record.ior.targetsUsed.size()),
                     core::Allocation(record.ior.targetsUsed, cluster),
                     record.ior.bandwidth);
-      });
+      },
+      exec);
 
   std::vector<stats::CategoryScatter> cats;
   util::TableWriter table({"stripe count", "mean MiB/s", "sd", "min", "max"});
@@ -239,22 +254,29 @@ int cmdConcurrent(const Args& args, std::ostream& out) {
   const auto reps = static_cast<std::size_t>(args.getInt("reps", 10));
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2022));
   auto base = baseConfig(args, cluster);
+  const auto exec = executorOptions(args, "concurrent");
   rejectUnknownFlags(args);
   base.fs.defaultStripe.stripeCount = stripe;
+
+  // Each repetition is seed-isolated; map them in parallel and fold the
+  // per-rep results in order, so the output is independent of --jobs.
+  const auto results = harness::parallelMap<harness::ConcurrentResult>(
+      reps, exec.jobs, [&](std::size_t rep) {
+        std::vector<harness::AppSpec> specs(apps);
+        for (std::size_t a = 0; a < apps; ++a) {
+          specs[a].job.ppn = ppn;
+          for (std::size_t n = 0; n < nodesPerApp; ++n) {
+            specs[a].job.nodeIds.push_back(a * nodesPerApp + n);
+          }
+          specs[a].ior.blockSize = ior::blockSizeForTotal(total, specs[a].job.ranks());
+        }
+        return harness::runConcurrent(base, specs, seed + rep);
+      });
 
   std::vector<double> aggregates;
   std::vector<double> perApp;
   std::size_t sharedTargetRuns = 0;
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    std::vector<harness::AppSpec> specs(apps);
-    for (std::size_t a = 0; a < apps; ++a) {
-      specs[a].job.ppn = ppn;
-      for (std::size_t n = 0; n < nodesPerApp; ++n) {
-        specs[a].job.nodeIds.push_back(a * nodesPerApp + n);
-      }
-      specs[a].ior.blockSize = ior::blockSizeForTotal(total, specs[a].job.ranks());
-    }
-    const auto result = harness::runConcurrent(base, specs, seed + rep);
+  for (const auto& result : results) {
     aggregates.push_back(result.aggregateBandwidth);
     for (const auto& app : result.apps) perApp.push_back(app.bandwidth);
     if (result.sharedTargets > 0) ++sharedTargetRuns;
@@ -297,6 +319,9 @@ std::string usage() {
          "shared flags:\n"
          "  --cluster plafrim1|plafrim2|catalyst|FILE.json   (default plafrim2)\n"
          "  --nodes N --seed S\n"
+         "  --jobs N    worker threads for repetitions (default $BEESIM_JOBS, else 1;\n"
+         "              0 = all hardware threads; results are identical for any N)\n"
+         "  --progress  live status line on stderr (runs done, ETA, slowest config)\n"
          "run flags:      --ppn --stripe --total --chooser --reps --pattern n1|nn\n"
          "                --op write|read --trace FILE.jsonl\n"
          "sweep flags:    --ppn --reps --total --chooser\n"
@@ -310,8 +335,8 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream
     return argv.empty() ? 1 : 0;
   }
   const std::string command = argv[0];
-  const Args args(std::vector<std::string>(argv.begin() + 1, argv.end()));
   try {
+    const Args args(std::vector<std::string>(argv.begin() + 1, argv.end()), {"progress"});
     if (command == "describe") return cmdDescribe(args, out);
     if (command == "run") return cmdRun(args, out);
     if (command == "sweep") return cmdSweep(args, out);

@@ -1,35 +1,202 @@
 #include "harness/campaign.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace beesim::harness {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Render an entry's factor labels for progress reporting ("count=4 nodes=8").
+std::string describeFactors(const CampaignEntry& entry) {
+  std::string out;
+  for (const auto& [name, value] : entry.factors) {
+    if (!out.empty()) out += ' ';
+    out += name + "=" + value;
+  }
+  return out.empty() ? "(single config)" : out;
+}
+
+/// Build the row exactly as the serial executor always has: entry factors +
+/// "rep", standard metrics, then the annotator.
+ResultRow makeRow(const CampaignEntry& entry, const PlannedRun& planned,
+                  const RunRecord& record, const RowAnnotator& annotate) {
+  ResultRow row;
+  row.factors = entry.factors;
+  row.factors["rep"] = std::to_string(planned.repetition);
+  row.metrics["bandwidth_mibps"] = record.ior.bandwidth;
+  row.metrics["meta_seconds"] = record.ior.metaTime;
+  row.metrics["env_network"] = record.environment.network;
+  row.metrics["env_storage"] = record.environment.storage;
+  if (annotate) annotate(record, row);
+  return row;
+}
+
+/// Per-run timing + progress aggregation; all calls happen in commit (= plan)
+/// order on the committing thread.
+class ProgressTracker {
+ public:
+  ProgressTracker(std::size_t total, const ExecutorOptions& exec,
+                  const std::vector<CampaignEntry>& entries)
+      : exec_(exec), entries_(entries) {
+    progress_.total = total;
+  }
+
+  void committed(const PlannedRun& planned, double runSeconds) {
+    ++progress_.completed;
+    if (runSeconds > progress_.slowestRunSeconds) {
+      progress_.slowestRunSeconds = runSeconds;
+      progress_.slowestConfig = describeFactors(entries_[planned.configIndex]);
+    }
+    if (!exec_.onProgress) return;
+    const double elapsed = secondsSince(startedAt_);
+    const bool last = progress_.completed == progress_.total;
+    if (!last && elapsed - lastReport_ < exec_.progressIntervalSeconds) return;
+    lastReport_ = elapsed;
+    progress_.elapsedSeconds = elapsed;
+    progress_.etaSeconds =
+        elapsed / static_cast<double>(progress_.completed) *
+        static_cast<double>(progress_.total - progress_.completed);
+    exec_.onProgress(progress_);
+  }
+
+ private:
+  const ExecutorOptions& exec_;
+  const std::vector<CampaignEntry>& entries_;
+  CampaignProgress progress_;
+  Clock::time_point startedAt_ = Clock::now();
+  double lastReport_ = 0.0;
+};
+
+RunRecord timedRunOnce(const CampaignEntry& entry, const PlannedRun& planned,
+                       double& runSeconds) {
+  RunConfig config = entry.config;
+  config.startAt = planned.systemTime;
+  const auto startedAt = Clock::now();
+  RunRecord record = runOnce(config, planned.seed);
+  runSeconds = secondsSince(startedAt);
+  return record;
+}
+
+/// The legacy serial path: run and commit one planned run at a time.
+ResultStore executeSerial(const std::vector<CampaignEntry>& entries,
+                          const std::vector<PlannedRun>& plan, const RowAnnotator& annotate,
+                          ProgressTracker& tracker) {
+  ResultStore store;
+  for (const auto& planned : plan) {
+    double runSeconds = 0.0;
+    const auto record = timedRunOnce(entries[planned.configIndex], planned, runSeconds);
+    store.add(makeRow(entries[planned.configIndex], planned, record, annotate));
+    tracker.committed(planned, runSeconds);
+  }
+  return store;
+}
+
+/// Parallel path: a worker pool pulls planned indices off an atomic counter
+/// and buffers each RunRecord in its slot; the calling thread commits slots
+/// strictly in plan order, so the ResultStore and the annotator observe the
+/// exact serial sequence.  All per-run randomness derives from planned.seed
+/// inside runOnce -- workers share no RNG, no simulator, no mutable state.
+ResultStore executeParallel(const std::vector<CampaignEntry>& entries,
+                            const std::vector<PlannedRun>& plan, const RowAnnotator& annotate,
+                            ProgressTracker& tracker, std::size_t jobs) {
+  struct Slot {
+    RunRecord record;
+    double runSeconds = 0.0;
+    bool done = false;
+  };
+  std::vector<Slot> slots(plan.size());
+  std::mutex mutex;
+  std::condition_variable slotReady;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr workerError;
+
+  const auto work = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= plan.size()) return;
+      try {
+        double runSeconds = 0.0;
+        RunRecord record = timedRunOnce(entries[plan[i].configIndex], plan[i], runSeconds);
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          slots[i].record = std::move(record);
+          slots[i].runSeconds = runSeconds;
+          slots[i].done = true;
+        }
+        slotReady.notify_one();
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          if (!workerError) workerError = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        slotReady.notify_one();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) pool.emplace_back(work);
+
+  ResultStore store;
+  std::exception_ptr commitError;
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      slotReady.wait(lock, [&] {
+        return slots[i].done || failed.load(std::memory_order_relaxed);
+      });
+      if (!slots[i].done) break;  // a worker failed before producing slot i
+      Slot slot = std::move(slots[i]);
+      lock.unlock();
+      try {
+        store.add(makeRow(entries[plan[i].configIndex], plan[i], slot.record, annotate));
+        tracker.committed(plan[i], slot.runSeconds);
+      } catch (...) {
+        commitError = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+      lock.lock();
+      if (commitError) break;
+    }
+  }
+  for (auto& thread : pool) thread.join();
+  if (commitError) std::rethrow_exception(commitError);
+  if (workerError) std::rethrow_exception(workerError);
+  return store;
+}
+
+}  // namespace
+
 ResultStore executeCampaign(const std::vector<CampaignEntry>& entries,
                             const ProtocolOptions& options, std::uint64_t seed,
-                            const RowAnnotator& annotate) {
+                            const RowAnnotator& annotate, const ExecutorOptions& exec) {
   BEESIM_ASSERT(!entries.empty(), "campaign needs at least one configuration");
 
   util::Rng rng(seed);
   const auto plan = buildProtocolPlan(entries.size(), options, rng);
 
-  ResultStore store;
-  for (const auto& planned : plan) {
-    RunConfig config = entries[planned.configIndex].config;
-    config.startAt = planned.systemTime;
-    const auto record = runOnce(config, planned.seed);
-
-    ResultRow row;
-    row.factors = entries[planned.configIndex].factors;
-    row.factors["rep"] = std::to_string(planned.repetition);
-    row.metrics["bandwidth_mibps"] = record.ior.bandwidth;
-    row.metrics["meta_seconds"] = record.ior.metaTime;
-    row.metrics["env_network"] = record.environment.network;
-    row.metrics["env_storage"] = record.environment.storage;
-    if (annotate) annotate(record, row);
-    store.add(std::move(row));
-  }
-  return store;
+  ProgressTracker tracker(plan.size(), exec, entries);
+  const std::size_t jobs = std::min(resolveJobs(exec.jobs), plan.size());
+  if (jobs <= 1) return executeSerial(entries, plan, annotate, tracker);
+  return executeParallel(entries, plan, annotate, tracker, jobs);
 }
 
 }  // namespace beesim::harness

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/executor.hpp"
 #include "harness/protocol.hpp"
 #include "harness/run.hpp"
 #include "harness/store.hpp"
@@ -32,9 +33,15 @@ using RowAnnotator = std::function<void(const RunRecord&, ResultRow&)>;
 /// Execute `repetitions` of every entry under the randomized-block protocol.
 /// Rows carry the entry's factors plus "rep", and metrics
 /// "bandwidth_mibps", "meta_seconds", "env_network", "env_storage".
-/// Deterministic given `seed`.
+///
+/// Deterministic given `seed` -- including across `exec.jobs`: runs execute
+/// concurrently on a worker pool, but every run's randomness derives from its
+/// planned seed and rows are committed (and the annotator invoked) strictly
+/// in plan order on the calling thread, so the returned store is bitwise
+/// identical to serial execution.  jobs=1 is the exact legacy serial path.
 ResultStore executeCampaign(const std::vector<CampaignEntry>& entries,
                             const ProtocolOptions& options, std::uint64_t seed,
-                            const RowAnnotator& annotate = nullptr);
+                            const RowAnnotator& annotate = nullptr,
+                            const ExecutorOptions& exec = {});
 
 }  // namespace beesim::harness

@@ -1,0 +1,81 @@
+#include "harness/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace beesim::harness {
+
+std::size_t resolveJobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+std::size_t defaultJobs() {
+  if (const char* env = std::getenv("BEESIM_JOBS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 0) {
+      return resolveJobs(static_cast<std::size_t>(value));
+    }
+  }
+  return 1;
+}
+
+ProgressFn stderrProgress(const std::string& label) {
+  return [label](const CampaignProgress& p) {
+    std::fprintf(stderr, "\r[%s] %zu/%zu runs  %.1fs elapsed  eta %.0fs  slowest %s (%.2fs)%s",
+                 label.c_str(), p.completed, p.total, p.elapsedSeconds, p.etaSeconds,
+                 p.slowestConfig.empty() ? "-" : p.slowestConfig.c_str(),
+                 p.slowestRunSeconds, p.completed == p.total ? "\n" : "");
+    std::fflush(stderr);
+  };
+}
+
+void parallelFor(std::size_t count, std::size_t jobs,
+                 const std::function<void(std::size_t)>& body) {
+  BEESIM_ASSERT(body != nullptr, "parallelFor needs a body");
+  if (count == 0) return;
+  const std::size_t workers = std::min(resolveJobs(jobs), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex errorMutex;
+  std::exception_ptr error;
+
+  const auto work = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(errorMutex);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (auto& thread : pool) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace beesim::harness

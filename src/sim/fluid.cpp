@@ -40,10 +40,18 @@ FlowId FluidSimulator::startFlow(FlowSpec spec) {
   const FlowId id{nextFlowId_++};
 
   if (spec.bytes == 0) {
-    // Degenerate flow: completes instantly, never enters the solver.
-    if (spec.onComplete) {
+    // Degenerate flow: completes instantly, never enters the solver.  The
+    // observer still sees the full start/complete lifecycle so trace-derived
+    // flow counts agree with the callers' view.
+    if (observer_ != nullptr) {
+      observer_->onFlowStarted(id, spec.path, 0, engine_.now());
+    }
+    if (observer_ != nullptr || spec.onComplete) {
       FlowStats stats{id, engine_.now(), engine_.now(), 0};
-      engine_.scheduleAfter(0.0, [cb = std::move(spec.onComplete), stats] { cb(stats); });
+      engine_.scheduleAfter(0.0, [this, cb = std::move(spec.onComplete), stats] {
+        if (observer_ != nullptr) observer_->onFlowCompleted(stats);
+        if (cb) cb(stats);
+      });
     }
     return id;
   }
@@ -62,6 +70,7 @@ FlowId FluidSimulator::startFlow(FlowSpec spec) {
   if (observer_ != nullptr) {
     observer_->onFlowStarted(id, flow.path, flow.bytes, engine_.now());
   }
+  flowIndex_[id.value] = flows_.size();
   flows_.push_back(std::move(flow));
   ++activeCount_;
   ratesValid_ = false;
@@ -74,10 +83,9 @@ void FluidSimulator::startFlowAt(SimTime at, FlowSpec spec) {
 }
 
 util::MiBps FluidSimulator::flowRate(FlowId id) const {
-  for (const auto& flow : flows_) {
-    if (flow.id == id) return flow.rate;
-  }
-  return 0.0;
+  const auto it = flowIndex_.find(id.value);
+  if (it == flowIndex_.end()) return 0.0;
+  return flows_[it->second].rate;
 }
 
 void FluidSimulator::invalidateCapacities() {
@@ -161,6 +169,8 @@ void FluidSimulator::completeFinishedFlows() {
       ActiveFlow done = std::move(flows_[f]);
       flows_[f] = std::move(flows_.back());
       flows_.pop_back();
+      flowIndex_.erase(done.id.value);
+      if (f < flows_.size()) flowIndex_[flows_[f].id.value] = f;
       --activeCount_;
       const FlowStats stats{done.id, done.startTime, engine_.now(), done.bytes};
       if (observer_ != nullptr) observer_->onFlowCompleted(stats);

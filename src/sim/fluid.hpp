@@ -20,6 +20,7 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/maxmin.hpp"
@@ -179,6 +180,9 @@ class FluidSimulator {
   Simulator engine_;
   std::vector<ResourceSpec> resources_;
   std::vector<ActiveFlow> flows_;       // active flows, unordered
+  /// FlowId -> index into flows_, kept consistent with the swap-remove in
+  /// completeFinishedFlows() so flowRate() is O(1) instead of a linear scan.
+  std::unordered_map<std::uint64_t, std::size_t> flowIndex_;
   std::size_t activeCount_ = 0;
   std::uint64_t nextFlowId_ = 1;
   SimTime lastProgressTime_ = 0.0;

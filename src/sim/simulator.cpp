@@ -9,6 +9,7 @@ EventId Simulator::schedule(SimTime at, EventFn fn) {
   BEESIM_ASSERT(fn != nullptr, "event callback must not be null");
   const EventId id{nextEventId_++};
   queue_.push(QueuedEvent{at, id.value, std::move(fn)});
+  outstanding_.insert(id.value);
   return id;
 }
 
@@ -17,13 +18,18 @@ EventId Simulator::scheduleAfter(SimTime delay, EventFn fn) {
   return schedule(now_ + delay, std::move(fn));
 }
 
-void Simulator::cancel(EventId id) { cancelled_.insert(id.value); }
+void Simulator::cancel(EventId id) {
+  // Only outstanding sequences are remembered: cancelling an event that has
+  // already fired (or was never scheduled) must not grow cancelled_ forever.
+  if (outstanding_.count(id.value) != 0) cancelled_.insert(id.value);
+}
 
 bool Simulator::step() {
   while (!queue_.empty()) {
     // Copy out the top event before popping: the callback may schedule more.
     QueuedEvent event = queue_.top();
     queue_.pop();
+    outstanding_.erase(event.sequence);
     if (auto it = cancelled_.find(event.sequence); it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;

@@ -41,7 +41,8 @@ class Simulator {
   EventId scheduleAfter(SimTime delay, EventFn fn);
 
   /// Cancel a pending event.  Cancelling an already-fired or unknown event is
-  /// a harmless no-op (the simulator only remembers outstanding sequences).
+  /// a harmless no-op (the simulator only remembers outstanding sequences), so
+  /// long simulations can cancel freely without growing any bookkeeping.
   void cancel(EventId id);
 
   /// Execute the next pending event.  Returns false when the queue is empty.
@@ -57,6 +58,11 @@ class Simulator {
   /// Number of events still pending (cancelled events may be counted until
   /// they surface).
   std::size_t pending() const { return queue_.size(); }
+
+  /// Number of cancellations waiting for their event to surface.  Bounded by
+  /// pending(); stays 0 when cancelling only already-fired events (regression
+  /// guard for the unbounded-growth bug).
+  std::size_t cancelledBacklog() const { return cancelled_.size(); }
 
  private:
   struct QueuedEvent {
@@ -74,7 +80,8 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t nextEventId_ = 1;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> outstanding_;  // scheduled, not yet fired
+  std::unordered_set<std::uint64_t> cancelled_;    // subset of outstanding_
 };
 
 }  // namespace beesim::sim

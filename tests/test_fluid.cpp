@@ -255,5 +255,106 @@ TEST(Fluid, ManyFlowsConserveBytes) {
   EXPECT_NEAR(lastEnd, util::toMiB(total) / 128.0, 1e-6);
 }
 
+/// Minimal observer counting start/complete callbacks per flow id.
+class CountingObserver : public FluidObserver {
+ public:
+  void onFlowStarted(FlowId id, const std::vector<ResourceIndex>&, util::Bytes,
+                     SimTime) override {
+    started.push_back(id.value);
+  }
+  void onRatesSolved(SimTime, const std::vector<FlowId>&,
+                     const std::vector<util::MiBps>&) override {}
+  void onFlowCompleted(const FlowStats& stats) override {
+    completed.push_back(stats.id.value);
+  }
+
+  std::vector<std::uint64_t> started;
+  std::vector<std::uint64_t> completed;
+};
+
+TEST(Fluid, ZeroByteFlowEmitsObserverEvents) {
+  // Regression: the zero-byte fast path used to bypass the observer, so
+  // traces silently dropped empty transfers while their onComplete still ran.
+  FluidSimulator fluid;
+  CountingObserver observer;
+  fluid.setObserver(&observer);
+  const auto link = addLink(fluid, "link", 100.0);
+  bool done = false;
+  const auto id = fluid.startFlow(FlowSpec{.path = {link},
+                                           .bytes = 0,
+                                           .queueWeight = 1.0,
+                                           .rateCap = 0.0,
+                                           .onComplete = [&](const FlowStats& s) {
+                                             done = true;
+                                             EXPECT_EQ(s.bytes, 0u);
+                                             EXPECT_DOUBLE_EQ(s.endTime, s.startTime);
+                                           }});
+  fluid.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(observer.started, (std::vector<std::uint64_t>{id.value}));
+  EXPECT_EQ(observer.completed, (std::vector<std::uint64_t>{id.value}));
+}
+
+TEST(Fluid, ZeroByteFlowNotifiesObserverWithoutCallback) {
+  FluidSimulator fluid;
+  CountingObserver observer;
+  fluid.setObserver(&observer);
+  const auto link = addLink(fluid, "link", 100.0);
+  fluid.startFlow(FlowSpec{.path = {link},
+                           .bytes = 0,
+                           .queueWeight = 1.0,
+                           .rateCap = 0.0,
+                           .onComplete = nullptr});
+  fluid.run();
+  EXPECT_EQ(observer.started.size(), 1u);
+  EXPECT_EQ(observer.completed.size(), 1u);
+}
+
+/// Cross-checks flowRate(id) against the authoritative per-solve rates.
+class RateCheckObserver : public FluidObserver {
+ public:
+  explicit RateCheckObserver(FluidSimulator& fluid) : fluid_(fluid) {}
+
+  void onFlowStarted(FlowId, const std::vector<ResourceIndex>&, util::Bytes,
+                     SimTime) override {}
+  void onRatesSolved(SimTime, const std::vector<FlowId>& ids,
+                     const std::vector<util::MiBps>& rates) override {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_DOUBLE_EQ(fluid_.flowRate(ids[i]), rates[i]);
+      ++checks;
+    }
+  }
+  void onFlowCompleted(const FlowStats& stats) override {
+    EXPECT_DOUBLE_EQ(fluid_.flowRate(stats.id), 0.0);
+  }
+
+  std::size_t checks = 0;
+
+ private:
+  FluidSimulator& fluid_;
+};
+
+TEST(Fluid, FlowRateStaysConsistentAcrossCompletions) {
+  // Regression for the id->index map behind flowRate(): completions
+  // swap-remove from the flow list, so surviving flows change position and a
+  // stale index would report another flow's rate (or crash).
+  FluidSimulator fluid;
+  RateCheckObserver observer(fluid);
+  fluid.setObserver(&observer);
+  const auto link = addLink(fluid, "link", 120.0);
+  std::vector<FlowId> ids;
+  // Staggered sizes: flows finish one at a time, churning the indices.
+  for (int i = 1; i <= 6; ++i) {
+    ids.push_back(fluid.startFlow(FlowSpec{.path = {link},
+                                           .bytes = static_cast<util::Bytes>(i) * 64_MiB,
+                                           .queueWeight = 1.0,
+                                           .rateCap = 0.0,
+                                           .onComplete = nullptr}));
+  }
+  fluid.run();
+  EXPECT_GT(observer.checks, 6u);
+  for (const auto id : ids) EXPECT_DOUBLE_EQ(fluid.flowRate(id), 0.0);
+}
+
 }  // namespace
 }  // namespace beesim::sim

@@ -58,6 +58,27 @@ TEST(Simulator, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
+TEST(Simulator, CancelAfterFireLeavesNoBacklog) {
+  // Regression: cancelling an event that already fired (or never existed)
+  // used to park the id in the cancelled-set forever, leaking memory over a
+  // long campaign.  Only ids still in the queue may enter the backlog.
+  Simulator sim;
+  const auto id = sim.schedule(1.0, [] {});
+  sim.run();
+  sim.cancel(id);               // already fired
+  sim.cancel(EventId{12345});   // never scheduled
+  EXPECT_EQ(sim.cancelledBacklog(), 0u);
+}
+
+TEST(Simulator, CancelledBacklogDrainsWhenEventsExpire) {
+  Simulator sim;
+  const auto id = sim.schedule(1.0, [] {});
+  sim.cancel(id);
+  EXPECT_EQ(sim.cancelledBacklog(), 1u);
+  sim.run();  // the cancelled event is skipped and its marker retired
+  EXPECT_EQ(sim.cancelledBacklog(), 0u);
+}
+
 TEST(Simulator, CancelUnknownIdIsHarmless) {
   Simulator sim;
   sim.cancel(EventId{999});
