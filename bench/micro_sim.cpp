@@ -1,15 +1,30 @@
 // Micro-benchmarks of the simulator core (google-benchmark): the max-min
 // solver at various flow populations, the event queue, and one full IOR run
 // per scenario -- the numbers that bound how fast campaigns execute.
+//
+// Before the google-benchmark suite runs, main() measures the fluid-core
+// resolve throughput -- the pre-change baseline (full allocating rebuild +
+// global solve per event) against the incremental component-aware resolver
+// -- across flow-count sweeps and component shapes, and writes the numbers
+// to BENCH_fluid_core.json (override the path with BEESIM_BENCH_JSON).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 
 #include "beegfs/deployment.hpp"
 #include "beegfs/filesystem.hpp"
 #include "harness/run.hpp"
 #include "ior/runner.hpp"
+#include "sim/fluid.hpp"
 #include "sim/maxmin.hpp"
 #include "sim/simulator.hpp"
 #include "topology/plafrim.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -76,6 +91,228 @@ void BM_StripeByteMath(benchmark::State& state) {
 }
 BENCHMARK(BM_StripeByteMath);
 
+// --- Fluid-core resolve throughput: baseline vs incremental ------------
+
+/// A fixed multi-app max-min problem in both the legacy (allocating) input
+/// form and the flat CSR form the workspace consumes.
+struct CoreScenario {
+  std::vector<sim::SolverResource> resources;
+  std::vector<sim::SolverFlow> flows;
+
+  std::vector<double> capacity;
+  std::vector<std::uint32_t> adjacency;
+  std::vector<std::uint32_t> adjOffset;
+  std::vector<std::uint32_t> adjLen;
+  std::vector<double> weight;
+  std::vector<double> rateCap;
+  /// Flow slots per app == per connected component when targets are
+  /// disjoint; with shared targets every app touches every resource.
+  std::vector<std::vector<std::uint32_t>> appFlows;
+};
+
+CoreScenario makeCoreScenario(std::size_t nApps, std::size_t flowsPerApp,
+                              std::size_t resourcesPerApp, bool shared,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  CoreScenario s;
+  const std::size_t nRes = shared ? resourcesPerApp : nApps * resourcesPerApp;
+  s.resources.resize(nRes);
+  s.capacity.resize(nRes);
+  for (std::size_t r = 0; r < nRes; ++r) {
+    s.capacity[r] = rng.uniform(100.0, 2000.0);
+    s.resources[r].capacity = s.capacity[r];
+  }
+  const std::size_t nFlows = nApps * flowsPerApp;
+  s.flows.resize(nFlows);
+  s.adjOffset.resize(nFlows);
+  s.adjLen.resize(nFlows);
+  s.weight.resize(nFlows);
+  s.rateCap.resize(nFlows);
+  s.appFlows.resize(nApps);
+  const std::size_t pathLen = std::min<std::size_t>(3, resourcesPerApp);
+  for (std::size_t a = 0; a < nApps; ++a) {
+    for (std::size_t i = 0; i < flowsPerApp; ++i) {
+      const auto f = static_cast<std::uint32_t>(a * flowsPerApp + i);
+      s.adjOffset[f] = static_cast<std::uint32_t>(s.adjacency.size());
+      s.adjLen[f] = static_cast<std::uint32_t>(pathLen);
+      for (const auto r : rng.sampleWithoutReplacement(resourcesPerApp, pathLen)) {
+        const auto res = static_cast<std::uint32_t>(shared ? r : a * resourcesPerApp + r);
+        s.adjacency.push_back(res);
+        s.flows[f].resources.push_back(res);
+      }
+      s.weight[f] = rng.uniform(0.5, 4.0);
+      s.flows[f].weight = s.weight[f];
+      s.appFlows[a].push_back(f);
+    }
+  }
+  return s;
+}
+
+struct Measurement {
+  double nsPerResolve = 0.0;
+  double iterationsPerResolve = 0.0;
+};
+
+/// Time `resolve(event)` until enough wall-clock has elapsed; `resolve`
+/// returns the solver iteration count of that event.
+template <typename Resolve>
+Measurement measureResolves(Resolve&& resolve) {
+  using Clock = std::chrono::steady_clock;
+  for (std::size_t i = 0; i < 10; ++i) (void)resolve(i);  // warm-up
+  std::size_t events = 0;
+  std::size_t iterations = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < 0.25 || events < 100) {
+    iterations += resolve(events);
+    ++events;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  Measurement m;
+  m.nsPerResolve = elapsed * 1e9 / static_cast<double>(events);
+  m.iterationsPerResolve = static_cast<double>(iterations) / static_cast<double>(events);
+  return m;
+}
+
+util::JsonValue benchFluidCoreScenario(const std::string& name, std::size_t nApps,
+                                       std::size_t flowsPerApp,
+                                       std::size_t resourcesPerApp, bool shared) {
+  const auto scenario =
+      makeCoreScenario(nApps, flowsPerApp, resourcesPerApp, shared, 20220714);
+
+  // Baseline: what every flow event cost before the incremental resolver --
+  // rebuild the solver input (per-flow resource vectors and all) and solve
+  // the *world*, allocations included.
+  const auto baseline = measureResolves([&](std::size_t) {
+    std::vector<sim::SolverFlow> flows(scenario.flows.size());
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      flows[f].resources.reserve(scenario.flows[f].resources.size());
+      for (const auto r : scenario.flows[f].resources) flows[f].resources.push_back(r);
+      flows[f].weight = scenario.flows[f].weight;
+      flows[f].rateCap = scenario.flows[f].rateCap;
+    }
+    return sim::solveMaxMin(scenario.resources, flows).iterations;
+  });
+
+  // Incremental: a flow event dirties one app's component and re-solves only
+  // that subset through the persistent workspace (zero allocations).
+  const sim::SolverView view{scenario.capacity, scenario.adjacency, scenario.adjOffset,
+                             scenario.adjLen,   scenario.weight,    scenario.rateCap};
+  sim::SolverWorkspace workspace;
+  std::vector<double> rates(scenario.weight.size(), 0.0);
+  const auto incremental = measureResolves([&](std::size_t event) {
+    return workspace.solveSubset(view, scenario.appFlows[event % nApps], rates);
+  });
+
+  util::JsonObject entry;
+  entry["name"] = name;
+  entry["shape"] = shared ? "shared" : "disjoint";
+  entry["apps"] = static_cast<double>(nApps);
+  entry["flows"] = static_cast<double>(nApps * flowsPerApp);
+  entry["resources"] = static_cast<double>(scenario.capacity.size());
+  entry["baseline_ns_per_resolve"] = baseline.nsPerResolve;
+  entry["incremental_ns_per_resolve"] = incremental.nsPerResolve;
+  entry["baseline_resolves_per_s"] = 1e9 / baseline.nsPerResolve;
+  entry["incremental_resolves_per_s"] = 1e9 / incremental.nsPerResolve;
+  entry["baseline_solver_iterations"] = baseline.iterationsPerResolve;
+  entry["incremental_solver_iterations"] = incremental.iterationsPerResolve;
+  entry["speedup"] = baseline.nsPerResolve / incremental.nsPerResolve;
+  return util::JsonValue(std::move(entry));
+}
+
+/// End-to-end FluidSimulator numbers (event loop + capacity evaluation +
+/// component bookkeeping included), for context next to the solver-level
+/// comparison.
+util::JsonValue benchFluidSimulator(bool disjoint) {
+  sim::FluidSimulator fluid;
+  fluid.setResolveInterval(0.01);
+  constexpr std::size_t kApps = 2;
+  constexpr std::size_t kResPerApp = 8;
+  constexpr std::size_t kFlowsPerApp = 64;
+  std::vector<sim::ResourceIndex> links;
+  const std::size_t nRes = disjoint ? kApps * kResPerApp : kResPerApp;
+  for (std::size_t r = 0; r < nRes; ++r) {
+    links.push_back(fluid.addResource(sim::ResourceSpec{
+        "link" + std::to_string(r), [](const sim::ResourceLoad& load) {
+          return 500.0 + 100.0 * std::sin(load.time);
+        }}));
+  }
+  util::Rng rng(99);
+  for (std::size_t a = 0; a < kApps; ++a) {
+    for (std::size_t i = 0; i < kFlowsPerApp; ++i) {
+      sim::FlowSpec spec;
+      for (const auto r : rng.sampleWithoutReplacement(kResPerApp, 3)) {
+        spec.path.push_back(links[disjoint ? a * kResPerApp + r : r]);
+      }
+      spec.bytes = 1_TiB;  // nothing completes inside the window
+      spec.queueWeight = rng.uniform(0.5, 4.0);
+      fluid.startFlow(std::move(spec));
+    }
+  }
+  fluid.engine().runUntil(1.0);  // warm up
+  const auto resolves0 = fluid.resolveCount();
+  const auto iterations0 = fluid.solverIterations();
+  const auto start = std::chrono::steady_clock::now();
+  fluid.engine().runUntil(21.0);  // ~2000 periodic resolves
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const auto resolves = fluid.resolveCount() - resolves0;
+  const auto iterations = fluid.solverIterations() - iterations0;
+
+  util::JsonObject entry;
+  entry["name"] = std::string("fluid_sim_") + (disjoint ? "disjoint" : "shared");
+  entry["shape"] = disjoint ? "disjoint" : "shared";
+  entry["apps"] = static_cast<double>(kApps);
+  entry["flows"] = static_cast<double>(kApps * kFlowsPerApp);
+  entry["resources"] = static_cast<double>(nRes);
+  entry["ns_per_resolve"] = elapsed * 1e9 / static_cast<double>(resolves);
+  entry["resolves_per_s"] = static_cast<double>(resolves) / elapsed;
+  entry["solver_iterations_per_resolve"] =
+      static_cast<double>(iterations) / static_cast<double>(resolves);
+  return util::JsonValue(std::move(entry));
+}
+
+void writeFluidCoreBench() {
+  util::JsonArray scenarios;
+  double disjointHeadline = 0.0;
+  double sharedHeadline = 0.0;
+  for (const std::size_t flowsPerApp : {32u, 128u, 512u}) {
+    for (const bool shared : {false, true}) {
+      const std::string name = std::string(shared ? "shared" : "disjoint") +
+                               "_two_app_" + std::to_string(2 * flowsPerApp) + "f";
+      auto entry = benchFluidCoreScenario(name, 2, flowsPerApp, 16, shared);
+      const double speedup = entry.at("speedup").asNumber();
+      if (flowsPerApp == 128) (shared ? sharedHeadline : disjointHeadline) = speedup;
+      scenarios.push_back(std::move(entry));
+    }
+  }
+  scenarios.push_back(benchFluidSimulator(true));
+  scenarios.push_back(benchFluidSimulator(false));
+
+  util::JsonObject headline;
+  headline["disjoint_two_app_speedup"] = disjointHeadline;
+  headline["shared_two_app_speedup"] = sharedHeadline;
+  util::JsonObject doc;
+  doc["benchmark"] = "fluid_core";
+  doc["scenarios"] = util::JsonValue(std::move(scenarios));
+  doc["headline"] = util::JsonValue(std::move(headline));
+
+  const char* out = std::getenv("BEESIM_BENCH_JSON");
+  const std::string path = out != nullptr && *out != '\0' ? out : "BENCH_fluid_core.json";
+  std::ofstream file(path);
+  file << util::JsonValue(std::move(doc)).dump(2) << "\n";
+  std::cout << "fluid-core resolve throughput written to " << path
+            << " (disjoint two-app speedup " << disjointHeadline
+            << "x, shared " << sharedHeadline << "x)\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  writeFluidCoreBench();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/error.hpp"
 
@@ -11,6 +12,8 @@ namespace {
 // A flow is finished when fewer than this many MiB remain; guards against
 // floating-point residue after piecewise integration.
 constexpr double kRemainderEpsMiB = 1e-9;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 CapacityFn constantCapacity(util::MiBps capacity) {
@@ -18,18 +21,213 @@ CapacityFn constantCapacity(util::MiBps capacity) {
   return [capacity](const ResourceLoad&) { return capacity; };
 }
 
-FluidSimulator::FluidSimulator() = default;
+// --- IdMap -------------------------------------------------------------
+
+std::size_t FluidSimulator::IdMap::bucketOf(std::uint64_t key, std::size_t mask) {
+  // splitmix64 finalizer: flow ids are sequential, so they need scrambling
+  // before masking or every id would probe the same run of buckets.
+  std::uint64_t x = key;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x) & mask;
+}
+
+void FluidSimulator::IdMap::grow() {
+  const std::size_t newSize = keys_.empty() ? 16 : keys_.size() * 2;
+  std::vector<std::uint64_t> oldKeys = std::move(keys_);
+  std::vector<std::uint32_t> oldSlots = std::move(slots_);
+  keys_.assign(newSize, 0);
+  slots_.assign(newSize, 0);
+  const std::size_t mask = newSize - 1;
+  for (std::size_t i = 0; i < oldKeys.size(); ++i) {
+    if (oldKeys[i] == 0) continue;
+    std::size_t b = bucketOf(oldKeys[i], mask);
+    while (keys_[b] != 0) b = (b + 1) & mask;
+    keys_[b] = oldKeys[i];
+    slots_[b] = oldSlots[i];
+  }
+}
+
+void FluidSimulator::IdMap::insert(std::uint64_t key, std::uint32_t slot) {
+  // Keep the load factor under 0.7 so probe runs stay short; a stable flow
+  // population reuses the table with no rehashing (and no allocation).
+  if (keys_.empty() || (size_ + 1) * 10 > keys_.size() * 7) grow();
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t b = bucketOf(key, mask);
+  while (keys_[b] != 0) b = (b + 1) & mask;
+  keys_[b] = key;
+  slots_[b] = slot;
+  ++size_;
+}
+
+std::uint32_t FluidSimulator::IdMap::find(std::uint64_t key) const {
+  if (keys_.empty()) return kNone;
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t b = bucketOf(key, mask);
+  while (keys_[b] != 0) {
+    if (keys_[b] == key) return slots_[b];
+    b = (b + 1) & mask;
+  }
+  return kNone;
+}
+
+void FluidSimulator::IdMap::erase(std::uint64_t key) {
+  if (keys_.empty()) return;
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t b = bucketOf(key, mask);
+  while (keys_[b] != 0 && keys_[b] != key) b = (b + 1) & mask;
+  if (keys_[b] == 0) return;
+  // Backward-shift deletion: pull later entries of the probe run into the
+  // hole so lookups never need tombstones.
+  std::size_t hole = b;
+  std::size_t j = b;
+  while (true) {
+    j = (j + 1) & mask;
+    if (keys_[j] == 0) break;
+    const std::size_t home = bucketOf(keys_[j], mask);
+    const bool reachable = hole <= j ? (home <= hole || home > j) : (home <= hole && home > j);
+    if (reachable) {
+      keys_[hole] = keys_[j];
+      slots_[hole] = slots_[j];
+      hole = j;
+    }
+  }
+  keys_[hole] = 0;
+  --size_;
+}
+
+// --- FluidSimulator ----------------------------------------------------
+
+FluidSimulator::FluidSimulator() {
+  const char* check = std::getenv("BEESIM_SOLVER_CHECK");
+  if (check != nullptr && *check != '\0' && std::string_view(check) != "0") {
+    solverCheck_ = true;
+  }
+}
 
 ResourceIndex FluidSimulator::addResource(ResourceSpec spec) {
   BEESIM_ASSERT(spec.capacity != nullptr, "resource needs a capacity model");
-  const ResourceIndex idx{static_cast<std::uint32_t>(resources_.size())};
+  const auto r = static_cast<std::uint32_t>(resources_.size());
   resources_.push_back(std::move(spec));
-  return idx;
+  resCapacity_.push_back(0.0);
+  resFlowCount_.push_back(0);
+  resQueueDepth_.push_back(0.0);
+  ufParent_.push_back(r);
+  ufSize_.push_back(1);
+  compHead_.push_back(kNone);
+  compTail_.push_back(kNone);
+  compFlowCount_.push_back(0);
+  compLastProgress_.push_back(0.0);
+  compNextCompletion_.push_back(kInf);
+  compDirty_.push_back(0);
+  compListed_.push_back(0);
+  return ResourceIndex{r};
 }
 
 const std::string& FluidSimulator::resourceName(ResourceIndex idx) const {
   BEESIM_ASSERT(idx.value < resources_.size(), "unknown resource index");
   return resources_[idx.value].name;
+}
+
+std::uint32_t FluidSimulator::findRoot(std::uint32_t r) const {
+  std::uint32_t root = r;
+  while (ufParent_[root] != root) root = ufParent_[root];
+  while (ufParent_[r] != root) {  // path compression
+    const auto next = ufParent_[r];
+    ufParent_[r] = root;
+    r = next;
+  }
+  return root;
+}
+
+std::uint32_t FluidSimulator::unite(std::uint32_t a, std::uint32_t b, SimTime at) {
+  if (a == b) return a;
+  BEESIM_ASSERT(compLastProgress_[a] == at && compLastProgress_[b] == at,
+                "components must be advanced to the merge instant");
+  if (ufSize_[a] < ufSize_[b]) std::swap(a, b);
+  ufParent_[b] = a;
+  ufSize_[a] += ufSize_[b];
+  if (compHead_[b] != kNone) {
+    if (compHead_[a] == kNone) {
+      compHead_[a] = compHead_[b];
+    } else {
+      flowNext_[compTail_[a]] = compHead_[b];
+    }
+    compTail_[a] = compTail_[b];
+  }
+  compFlowCount_[a] += compFlowCount_[b];
+  compNextCompletion_[a] = std::min(compNextCompletion_[a], compNextCompletion_[b]);
+  if (compDirty_[b] != 0 && compDirty_[a] == 0) markDirty(a);
+  compHead_[b] = kNone;
+  compTail_[b] = kNone;
+  compFlowCount_[b] = 0;
+  compNextCompletion_[b] = kInf;
+  compDirty_[b] = 0;
+  listComponent(a);
+  return a;
+}
+
+void FluidSimulator::markDirty(std::uint32_t root) {
+  if (compDirty_[root] != 0) return;
+  compDirty_[root] = 1;
+  dirtyRoots_.push_back(root);
+}
+
+void FluidSimulator::listComponent(std::uint32_t root) {
+  if (compListed_[root] != 0) return;
+  compListed_[root] = 1;
+  activeRoots_.push_back(root);
+}
+
+void FluidSimulator::resetComponents() {
+  const auto n = static_cast<std::uint32_t>(resources_.size());
+  const SimTime t = engine_.now();
+  for (std::uint32_t r = 0; r < n; ++r) {
+    ufParent_[r] = r;
+    ufSize_[r] = 1;
+    compHead_[r] = kNone;
+    compTail_[r] = kNone;
+    compFlowCount_[r] = 0;
+    compLastProgress_[r] = t;
+    compNextCompletion_[r] = kInf;
+    compDirty_[r] = 0;
+    compListed_[r] = 0;
+  }
+  activeRoots_.clear();
+  dirtyRoots_.clear();
+  pendingAllDirty_ = false;
+}
+
+std::uint32_t FluidSimulator::allocateFlowSlot() {
+  if (!freeFlowSlots_.empty()) {
+    const auto slot = freeFlowSlots_.back();
+    freeFlowSlots_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(flowId_.size());
+  flowId_.push_back(0);
+  flowRemaining_.push_back(0.0);
+  flowWeight_.push_back(1.0);
+  flowRateCap_.push_back(0.0);
+  flowRate_.push_back(0.0);
+  flowStart_.push_back(0.0);
+  flowBytes_.push_back(0);
+  flowOnComplete_.emplace_back();
+  flowNext_.push_back(kNone);
+  pathOffset_.push_back(0);
+  pathLen_.push_back(0);
+  pathCap_.push_back(0);
+  return slot;
+}
+
+void FluidSimulator::freeFlowSlot(std::uint32_t slot) {
+  flowId_[slot] = 0;
+  flowRate_[slot] = 0.0;
+  flowOnComplete_[slot] = nullptr;
+  freeFlowSlots_.push_back(slot);
 }
 
 FlowId FluidSimulator::startFlow(FlowSpec spec) {
@@ -38,16 +236,17 @@ FlowId FluidSimulator::startFlow(FlowSpec spec) {
     BEESIM_ASSERT(r.value < resources_.size(), "flow crosses an unknown resource");
   }
   const FlowId id{nextFlowId_++};
+  const SimTime t = engine_.now();
 
   if (spec.bytes == 0) {
     // Degenerate flow: completes instantly, never enters the solver.  The
     // observer still sees the full start/complete lifecycle so trace-derived
     // flow counts agree with the callers' view.
     if (observer_ != nullptr) {
-      observer_->onFlowStarted(id, spec.path, 0, engine_.now());
+      observer_->onFlowStarted(id, spec.path, 0, t);
     }
     if (observer_ != nullptr || spec.onComplete) {
-      FlowStats stats{id, engine_.now(), engine_.now(), 0};
+      FlowStats stats{id, t, t, 0};
       engine_.scheduleAfter(0.0, [this, cb = std::move(spec.onComplete), stats] {
         if (observer_ != nullptr) observer_->onFlowCompleted(stats);
         if (cb) cb(stats);
@@ -56,24 +255,67 @@ FlowId FluidSimulator::startFlow(FlowSpec spec) {
     return id;
   }
 
-  ActiveFlow flow;
-  flow.id = id;
-  flow.path = std::move(spec.path);
-  flow.remainingMiB = util::toMiB(spec.bytes);
-  flow.queueWeight = spec.queueWeight;
-  flow.rateCap = spec.rateCap;
-  flow.startTime = engine_.now();
-  flow.bytes = spec.bytes;
-  flow.onComplete = std::move(spec.onComplete);
+  const auto slot = allocateFlowSlot();
+  flowId_[slot] = id.value;
+  flowRemaining_[slot] = util::toMiB(spec.bytes);
+  flowWeight_[slot] = spec.queueWeight;
+  flowRateCap_[slot] = spec.rateCap;
+  flowRate_[slot] = 0.0;
+  flowStart_[slot] = t;
+  flowBytes_[slot] = spec.bytes;
+  flowOnComplete_[slot] = std::move(spec.onComplete);
 
-  advanceProgressTo(engine_.now());
-  if (observer_ != nullptr) {
-    observer_->onFlowStarted(id, flow.path, flow.bytes, engine_.now());
+  const auto len = static_cast<std::uint32_t>(spec.path.size());
+  if (pathCap_[slot] < len) {
+    // The slot's previous arena region is too small; claim a fresh one at
+    // the end.  Slots recycled for same-shaped flows reuse their region, so
+    // the arena stops growing once the workload's shapes have been seen.
+    pathOffset_[slot] = static_cast<std::uint32_t>(pathArena_.size());
+    pathCap_[slot] = len;
+    pathArena_.resize(pathArena_.size() + len);
+    adjacencyArena_.resize(adjacencyArena_.size() + len);
   }
-  flowIndex_[id.value] = flows_.size();
-  flows_.push_back(std::move(flow));
+  pathLen_[slot] = len;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    pathArena_[pathOffset_[slot] + i] = spec.path[i];
+    adjacencyArena_[pathOffset_[slot] + i] = spec.path[i].value;
+  }
+
+  // Settle and merge the components the path touches.  Banking each
+  // component's progress *before* membership changes keeps the piecewise
+  // integration exact: old rates applied up to t, new rates from t on.
+  std::uint32_t root = findRoot(spec.path[0].value);
+  advanceComponent(root, t);
+  for (std::uint32_t i = 1; i < len; ++i) {
+    const auto rr = findRoot(spec.path[i].value);
+    if (rr == root) continue;
+    advanceComponent(rr, t);
+    root = unite(root, rr, t);
+  }
+
+  flowNext_[slot] = kNone;
+  if (compTail_[root] == kNone) {
+    compHead_[root] = slot;
+  } else {
+    flowNext_[compTail_[root]] = slot;
+  }
+  compTail_[root] = slot;
+  ++compFlowCount_[root];
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const auto r = spec.path[i].value;
+    ++resFlowCount_[r];
+    resQueueDepth_[r] += spec.queueWeight;
+  }
+  markDirty(root);
+  listComponent(root);
+
+  if (observer_ != nullptr) {
+    observer_->onFlowStarted(
+        id, std::span<const ResourceIndex>(pathArena_.data() + pathOffset_[slot], len),
+        spec.bytes, t);
+  }
+  idMap_.insert(id.value, slot);
   ++activeCount_;
-  ratesValid_ = false;
   scheduleResolve();
   return id;
 }
@@ -83,13 +325,12 @@ void FluidSimulator::startFlowAt(SimTime at, FlowSpec spec) {
 }
 
 util::MiBps FluidSimulator::flowRate(FlowId id) const {
-  const auto it = flowIndex_.find(id.value);
-  if (it == flowIndex_.end()) return 0.0;
-  return flows_[it->second].rate;
+  const auto slot = idMap_.find(id.value);
+  return slot == kNone ? 0.0 : flowRate_[slot];
 }
 
 void FluidSimulator::invalidateCapacities() {
-  ratesValid_ = false;
+  pendingAllDirty_ = true;
   scheduleResolve();
 }
 
@@ -102,83 +343,168 @@ void FluidSimulator::scheduleResolve() {
   });
 }
 
-void FluidSimulator::advanceProgressTo(SimTime t) {
-  BEESIM_ASSERT(t >= lastProgressTime_, "progress time moved backwards");
-  const double dt = t - lastProgressTime_;
-  if (dt > 0.0 && ratesValid_) {
-    for (auto& flow : flows_) {
-      flow.remainingMiB = std::max(0.0, flow.remainingMiB - flow.rate * dt);
+void FluidSimulator::advanceComponent(std::uint32_t root, SimTime t) {
+  BEESIM_ASSERT(t >= compLastProgress_[root], "component progress moved backwards");
+  const double dt = t - compLastProgress_[root];
+  if (dt > 0.0) {
+    for (auto slot = compHead_[root]; slot != kNone; slot = flowNext_[slot]) {
+      flowRemaining_[slot] = std::max(0.0, flowRemaining_[slot] - flowRate_[slot] * dt);
     }
   }
-  lastProgressTime_ = t;
+  compLastProgress_[root] = t;
+}
+
+void FluidSimulator::removeFlowLoad(std::uint32_t slot) {
+  const auto* adj = adjacencyArena_.data() + pathOffset_[slot];
+  for (std::uint32_t i = 0; i < pathLen_[slot]; ++i) {
+    const auto r = adj[i];
+    --resFlowCount_[r];
+    resQueueDepth_[r] -= flowWeight_[slot];
+    // Reset to exactly zero when the resource empties so repeated +/- of
+    // doubles cannot leave a residue in the queue-depth accounting.
+    if (resFlowCount_[r] == 0) resQueueDepth_[r] = 0.0;
+  }
+}
+
+void FluidSimulator::settleComponent(std::uint32_t root, SimTime t) {
+  advanceComponent(root, t);
+  std::uint32_t prev = kNone;
+  std::uint32_t slot = compHead_[root];
+  while (slot != kNone) {
+    const auto next = flowNext_[slot];
+    if (flowRemaining_[slot] <= kRemainderEpsMiB) {
+      if (prev == kNone) {
+        compHead_[root] = next;
+      } else {
+        flowNext_[prev] = next;
+      }
+      if (compTail_[root] == slot) compTail_[root] = prev;
+      --compFlowCount_[root];
+      removeFlowLoad(slot);
+      idMap_.erase(flowId_[slot]);
+      --activeCount_;
+      // Callbacks are deferred to the drain list: an onComplete that starts
+      // new flows (the IOR segment chain does) must not mutate component
+      // lists while this sweep walks them.
+      drain_.push_back(DrainEntry{FlowStats{FlowId{flowId_[slot]}, flowStart_[slot], t,
+                                            flowBytes_[slot]},
+                                  std::move(flowOnComplete_[slot])});
+      freeFlowSlot(slot);
+    } else {
+      prev = slot;
+    }
+    slot = next;
+  }
 }
 
 void FluidSimulator::resolveNow() {
-  advanceProgressTo(engine_.now());
-  completeFinishedFlows();
+  const SimTime t = engine_.now();
+  ++resolveCount_;
 
-  if (flows_.empty()) {
-    ratesValid_ = true;
+  // 1. Components whose next completion is due: bank progress and move the
+  //    finished flows out.  A due component is re-solved regardless, so its
+  //    completion horizon is refreshed even when rounding left a sliver.
+  for (std::size_t i = 0; i < activeRoots_.size();) {
+    const auto r = activeRoots_[i];
+    if (findRoot(r) != r || compFlowCount_[r] == 0) {
+      compListed_[r] = 0;
+      activeRoots_[i] = activeRoots_.back();
+      activeRoots_.pop_back();
+      continue;
+    }
+    if (compNextCompletion_[r] <= t) {
+      settleComponent(r, t);
+      markDirty(r);
+    }
+    ++i;
+  }
+
+  // 2. Run the deferred completion callbacks.  These may start new flows
+  //    (which merge/dirty components and queue another +0 resolve -- that one
+  //    will find everything clean) or invalidate capacities.
+  for (auto& entry : drain_) {
+    if (observer_ != nullptr) observer_->onFlowCompleted(entry.stats);
+    if (entry.onComplete) entry.onComplete(entry.stats);
+  }
+  drain_.clear();
+
+  // 3. System drained: reset the merge-only union-find so the next episode
+  //    starts from singleton components.
+  if (activeCount_ == 0) {
+    resetComponents();
     return;
   }
 
-  // Gather per-resource load.
-  std::vector<ResourceLoad> loads(resources_.size());
-  for (auto& load : loads) load.time = engine_.now();
-  for (const auto& flow : flows_) {
-    for (const auto r : flow.path) {
-      ++loads[r.value].flowCount;
-      loads[r.value].queueDepth += flow.queueWeight;
+  // 4. Evaluate every loaded resource's capacity (exactly the pre-existing
+  //    call pattern -- capacity models are pure given (load, time), so clean
+  //    components keep mathematically identical rates) and dirty the
+  //    component of any resource whose capacity moved.
+  if (pendingAllDirty_) {
+    pendingAllDirty_ = false;
+    for (std::size_t i = 0; i < activeRoots_.size();) {
+      const auto r = activeRoots_[i];
+      if (findRoot(r) != r || compFlowCount_[r] == 0) {
+        compListed_[r] = 0;
+        activeRoots_[i] = activeRoots_.back();
+        activeRoots_.pop_back();
+        continue;
+      }
+      markDirty(r);
+      ++i;
     }
   }
-
-  // Evaluate capacities once per resource.
-  std::vector<SolverResource> solverResources(resources_.size());
-  for (std::size_t r = 0; r < resources_.size(); ++r) {
-    solverResources[r].capacity =
-        loads[r].flowCount > 0 ? resources_[r].capacity(loads[r]) : 0.0;
-    BEESIM_ASSERT(solverResources[r].capacity >= 0.0,
+  for (std::uint32_t r = 0; r < resources_.size(); ++r) {
+    if (resFlowCount_[r] == 0) continue;
+    const ResourceLoad load{resFlowCount_[r], resQueueDepth_[r], t};
+    const double cap = resources_[r].capacity(load);
+    BEESIM_ASSERT(cap >= 0.0,
                   "capacity model returned a negative rate for " + resources_[r].name);
-  }
-
-  std::vector<SolverFlow> solverFlows(flows_.size());
-  for (std::size_t f = 0; f < flows_.size(); ++f) {
-    solverFlows[f].resources.reserve(flows_[f].path.size());
-    for (const auto r : flows_[f].path) solverFlows[f].resources.push_back(r.value);
-    solverFlows[f].rateCap = flows_[f].rateCap;
-    solverFlows[f].weight = flows_[f].queueWeight;
-  }
-
-  const auto solution = solveMaxMin(solverResources, solverFlows);
-  for (std::size_t f = 0; f < flows_.size(); ++f) {
-    flows_[f].rate = solution.rates[f];
-  }
-  if (observer_ != nullptr) {
-    std::vector<FlowId> ids(flows_.size());
-    for (std::size_t f = 0; f < flows_.size(); ++f) ids[f] = flows_[f].id;
-    observer_->onRatesSolved(engine_.now(), ids, solution.rates);
-  }
-  ratesValid_ = true;
-  scheduleNextWakeup();
-}
-
-void FluidSimulator::completeFinishedFlows() {
-  std::size_t f = 0;
-  while (f < flows_.size()) {
-    if (flows_[f].remainingMiB <= kRemainderEpsMiB) {
-      ActiveFlow done = std::move(flows_[f]);
-      flows_[f] = std::move(flows_.back());
-      flows_.pop_back();
-      flowIndex_.erase(done.id.value);
-      if (f < flows_.size()) flowIndex_[flows_[f].id.value] = f;
-      --activeCount_;
-      const FlowStats stats{done.id, done.startTime, engine_.now(), done.bytes};
-      if (observer_ != nullptr) observer_->onFlowCompleted(stats);
-      if (done.onComplete) done.onComplete(stats);
-    } else {
-      ++f;
+    if (cap != resCapacity_[r]) {
+      resCapacity_[r] = cap;
+      markDirty(findRoot(r));
     }
   }
+
+  // 5. Re-solve each dirty component in isolation (max-min decomposes
+  //    exactly over connected components).
+  solvedIds_.clear();
+  solvedRates_.clear();
+  const SolverView view{resCapacity_, adjacencyArena_, pathOffset_,
+                        pathLen_,     flowWeight_,     flowRateCap_};
+  for (std::size_t i = 0; i < dirtyRoots_.size(); ++i) {
+    const auto listed = dirtyRoots_[i];
+    const auto r = findRoot(listed);
+    if (compDirty_[r] == 0) continue;  // merged away or already solved
+    compDirty_[r] = 0;
+    if (compFlowCount_[r] == 0) {
+      compNextCompletion_[r] = kInf;
+      continue;
+    }
+    advanceComponent(r, t);
+    subsetSlots_.clear();
+    for (auto slot = compHead_[r]; slot != kNone; slot = flowNext_[slot]) {
+      subsetSlots_.push_back(slot);
+    }
+    solverIterations_ += workspace_.solveSubset(view, subsetSlots_, flowRate_);
+    double horizon = kInf;
+    for (const auto slot : subsetSlots_) {
+      if (flowRate_[slot] > 0.0) {
+        horizon = std::min(horizon, flowRemaining_[slot] / flowRate_[slot]);
+      }
+      solvedIds_.push_back(FlowId{flowId_[slot]});
+      solvedRates_.push_back(flowRate_[slot]);
+    }
+    compNextCompletion_[r] = std::isfinite(horizon) ? t + horizon : kInf;
+  }
+  dirtyRoots_.clear();
+  lastSolvedFlows_ = solvedIds_.size();
+
+  if (solverCheck_) runSolverCheck();
+
+  if (observer_ != nullptr && !solvedIds_.empty()) {
+    observer_->onRatesSolved(t, solvedIds_, solvedRates_, activeCount_);
+  }
+  scheduleNextWakeup();
 }
 
 void FluidSimulator::scheduleNextWakeup() {
@@ -186,13 +512,20 @@ void FluidSimulator::scheduleNextWakeup() {
     engine_.cancel(*wakeup_);
     wakeup_.reset();
   }
-  if (flows_.empty()) return;
+  if (activeCount_ == 0) return;
 
-  double horizon = std::numeric_limits<double>::infinity();
-  for (const auto& flow : flows_) {
-    if (flow.rate > 0.0) {
-      horizon = std::min(horizon, flow.remainingMiB / flow.rate);
+  const SimTime t = engine_.now();
+  double horizon = kInf;
+  for (std::size_t i = 0; i < activeRoots_.size();) {
+    const auto r = activeRoots_[i];
+    if (findRoot(r) != r || compFlowCount_[r] == 0) {
+      compListed_[r] = 0;
+      activeRoots_[i] = activeRoots_.back();
+      activeRoots_.pop_back();
+      continue;
     }
+    horizon = std::min(horizon, compNextCompletion_[r] - t);
+    ++i;
   }
   if (resolveInterval_ > 0.0) horizon = std::min(horizon, resolveInterval_);
   if (!std::isfinite(horizon)) {
@@ -205,28 +538,85 @@ void FluidSimulator::scheduleNextWakeup() {
   // at all, and a nearly-finished flow (~1e-12 MiB left) would respin this
   // wakeup at the same instant forever.  The clamp (a few ULPs of T) is far
   // below any physically meaningful interval.
-  const double minAdvance = std::max(1e-9, engine_.now() * 4.0 *
-                                               std::numeric_limits<double>::epsilon());
+  const double minAdvance =
+      std::max(1e-9, t * 4.0 * std::numeric_limits<double>::epsilon());
   horizon = std::max(horizon, minAdvance);
   wakeup_ = engine_.scheduleAfter(horizon, [this] {
     wakeup_.reset();
-    // Bank the progress made at the current (still valid) rates *before*
-    // invalidating them for the re-solve.
-    advanceProgressTo(engine_.now());
-    ratesValid_ = false;  // capacities may be time-dependent
     resolveNow();
   });
 }
 
-void FluidSimulator::run() {
-  while (true) {
-    engine_.run();
-    if (flows_.empty()) return;
-    // Events drained but flows remain: all rates are zero and nothing will
-    // change them.
-    BEESIM_ASSERT(false, "fluid simulation deadlocked: " + std::to_string(flows_.size()) +
-                             " flow(s) stalled at zero rate");
+void FluidSimulator::runSolverCheck() {
+  // Differential mode: recount loads exactly and re-solve *all* live flows
+  // as one subset with a scratch workspace, then compare against the
+  // incrementally maintained state.  Allocation-freedom is not a goal here;
+  // this path only runs when explicitly enabled.
+  std::vector<std::uint32_t> countCheck(resources_.size(), 0);
+  std::vector<double> depthCheck(resources_.size(), 0.0);
+  checkSlots_.clear();
+  for (std::uint32_t slot = 0; slot < flowId_.size(); ++slot) {
+    if (flowId_[slot] == 0) continue;
+    checkSlots_.push_back(slot);
+    const auto* adj = adjacencyArena_.data() + pathOffset_[slot];
+    for (std::uint32_t i = 0; i < pathLen_[slot]; ++i) {
+      ++countCheck[adj[i]];
+      depthCheck[adj[i]] += flowWeight_[slot];
+    }
   }
+  BEESIM_ASSERT(checkSlots_.size() == activeCount_,
+                "solver check: live-slot count disagrees with activeFlows()");
+  std::size_t compTotal = 0;
+  for (const auto r : activeRoots_) {
+    if (findRoot(r) == r) compTotal += compFlowCount_[r];
+  }
+  BEESIM_ASSERT(compTotal == activeCount_,
+                "solver check: component flow counts disagree with activeFlows()");
+  for (std::uint32_t r = 0; r < resources_.size(); ++r) {
+    BEESIM_ASSERT(countCheck[r] == resFlowCount_[r],
+                  "solver check: stale flow count on " + resources_[r].name);
+    BEESIM_ASSERT(std::abs(depthCheck[r] - resQueueDepth_[r]) <=
+                      1e-9 * std::max(1.0, std::abs(depthCheck[r])),
+                  "solver check: stale queue depth on " + resources_[r].name);
+  }
+
+  checkRates_.resize(flowRate_.size());
+  const SolverView view{resCapacity_, adjacencyArena_, pathOffset_,
+                        pathLen_,     flowWeight_,     flowRateCap_};
+  checkWorkspace_.solveSubset(view, checkSlots_, checkRates_);
+  for (const auto slot : checkSlots_) {
+    const double expect = checkRates_[slot];
+    const double got = flowRate_[slot];
+    BEESIM_ASSERT(std::abs(got - expect) <= 1e-9 * std::max(1.0, std::abs(expect)),
+                  "solver check: incremental rate diverged for flow #" +
+                      std::to_string(flowId_[slot]) + " (" + std::to_string(got) +
+                      " vs " + std::to_string(expect) + ")");
+  }
+}
+
+void FluidSimulator::run() {
+  engine_.run();
+  if (activeCount_ == 0) return;
+  // Events drained but flows remain: all rates are zero and nothing will
+  // change them.  Name the first few stalled flows and their paths -- the
+  // resource whose capacity model returned 0 is almost always in there.
+  std::string msg = "fluid simulation deadlocked: " + std::to_string(activeCount_) +
+                    " flow(s) stalled at zero rate";
+  std::size_t listed = 0;
+  for (std::uint32_t slot = 0; slot < flowId_.size() && listed < 5; ++slot) {
+    if (flowId_[slot] == 0) continue;
+    ++listed;
+    msg += "\n  flow #" + std::to_string(flowId_[slot]) + " via [";
+    for (std::uint32_t i = 0; i < pathLen_[slot]; ++i) {
+      if (i > 0) msg += " -> ";
+      msg += resources_[adjacencyArena_[pathOffset_[slot] + i]].name;
+    }
+    msg += "]";
+  }
+  if (activeCount_ > listed) {
+    msg += "\n  ... and " + std::to_string(activeCount_ - listed) + " more";
+  }
+  BEESIM_ASSERT(false, msg);
 }
 
 }  // namespace beesim::sim

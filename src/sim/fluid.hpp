@@ -13,14 +13,27 @@
 // This is how storage devices expose a concurrency ramp (an HDD RAID array
 // needs a deep queue to stream at full speed) and how stochastic variability
 // enters (callbacks may sample per-epoch noise keyed on the current time).
+//
+// Incremental resolution: max-min fair allocation decomposes exactly over the
+// connected components of the flow/resource bipartite graph, so the simulator
+// tracks components with a union-find over resources and re-solves only the
+// *dirty* ones -- those whose flow membership or member capacities changed
+// since the last solve.  Two applications pinned to disjoint OSTs therefore
+// cost each other nothing per event (O(own component), not O(world)).  All
+// bookkeeping lives in flat slot-indexed arrays reused across the run; a
+// steady-state resolve performs zero heap allocations.
+//
+// Setting BEESIM_SOLVER_CHECK=1 (or setSolverCheck(true)) turns on a
+// differential mode that re-solves every resolve from scratch over all live
+// flows and asserts the incremental rates match to 1e-9 relative.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/maxmin.hpp"
@@ -46,7 +59,7 @@ struct ResourceLoad {
 };
 
 /// Capacity model of a resource.  Must be pure given (load, its own state);
-/// it is invoked exactly once per resource per solve.
+/// it is invoked exactly once per loaded resource per resolve.
 using CapacityFn = std::function<util::MiBps(const ResourceLoad&)>;
 
 /// Convenience: constant capacity.
@@ -93,18 +106,22 @@ struct FlowSpec {
 };
 
 /// Observer of fluid-simulation events (see sim/trace.hpp for the standard
-/// implementation).  All callbacks fire from inside the event loop.
+/// implementation).  All callbacks fire from inside the event loop.  Spans
+/// are views into simulator-owned storage, valid only for the call.
 class FluidObserver {
  public:
   virtual ~FluidObserver() = default;
 
   /// A flow entered the system.
-  virtual void onFlowStarted(FlowId id, const std::vector<ResourceIndex>& path,
+  virtual void onFlowStarted(FlowId id, std::span<const ResourceIndex> path,
                              util::Bytes bytes, SimTime at) = 0;
 
-  /// Rates were re-solved; `rates[i]` belongs to `ids[i]`.
-  virtual void onRatesSolved(SimTime at, const std::vector<FlowId>& ids,
-                             const std::vector<util::MiBps>& rates) = 0;
+  /// Rates were re-solved; `rates[i]` belongs to `ids[i]`.  Only flows whose
+  /// component was re-solved are reported (others keep their previous rate);
+  /// `activeFlows` is the total live-flow count for context.
+  virtual void onRatesSolved(SimTime at, std::span<const FlowId> ids,
+                             std::span<const util::MiBps> rates,
+                             std::size_t activeFlows) = 0;
 
   /// A flow finished.
   virtual void onFlowCompleted(const FlowStats& stats) = 0;
@@ -152,45 +169,134 @@ class FluidSimulator {
   /// ownership and must outlive the simulation.
   void setObserver(FluidObserver* observer) { observer_ = observer; }
 
+  /// Enable/disable the differential solver check (also via the
+  /// BEESIM_SOLVER_CHECK environment variable): every resolve additionally
+  /// re-solves all live flows from scratch and asserts the incremental rates
+  /// match to 1e-9 relative, and that the incremental load accounting agrees
+  /// with an exact recount.
+  void setSolverCheck(bool enabled) { solverCheck_ = enabled; }
+
   /// Run until all events *and* flows drain.  Throws ContractError if flows
   /// remain but cannot make progress (all rates zero with no future events).
   void run();
 
+  // Diagnostics (micro-benchmark / tests).
+  std::size_t resolveCount() const { return resolveCount_; }
+  std::size_t solverIterations() const { return solverIterations_; }
+  std::size_t lastSolvedFlows() const { return lastSolvedFlows_; }
+
  private:
-  struct ActiveFlow {
-    FlowId id;
-    std::vector<ResourceIndex> path;
-    double remainingMiB = 0.0;
-    double queueWeight = 1.0;
-    util::MiBps rateCap = 0.0;
-    util::MiBps rate = 0.0;
-    SimTime startTime = 0.0;
-    util::Bytes bytes = 0;
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// Open-addressed FlowId -> slot map (linear probing, backward-shift
+  /// deletion).  Key 0 marks an empty bucket -- valid flow ids start at 1.
+  class IdMap {
+   public:
+    void insert(std::uint64_t key, std::uint32_t slot);
+    void erase(std::uint64_t key);
+    /// Returns kNone when absent.
+    std::uint32_t find(std::uint64_t key) const;
+    std::size_t size() const { return size_; }
+
+   private:
+    static std::size_t bucketOf(std::uint64_t key, std::size_t mask);
+    void grow();
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint32_t> slots_;
+    std::size_t size_ = 0;
+  };
+
+  struct DrainEntry {
+    FlowStats stats;
     std::function<void(const FlowStats&)> onComplete;
   };
 
   using Seconds = util::Seconds;
 
+  // Union-find over resources (merge-only; reset when the system drains).
+  std::uint32_t findRoot(std::uint32_t r) const;
+  std::uint32_t unite(std::uint32_t a, std::uint32_t b, SimTime at);
+  void markDirty(std::uint32_t root);
+  void listComponent(std::uint32_t root);
+  void resetComponents();
+
+  /// Bank progress of one component's flows up to `t` at the current rates.
+  void advanceComponent(std::uint32_t root, SimTime t);
+  /// Advance to `t` and move finished flows out of the component into
+  /// drain_ (bookkeeping updated; callbacks NOT yet run).
+  void settleComponent(std::uint32_t root, SimTime t);
+  void removeFlowLoad(std::uint32_t slot);
+
   void scheduleResolve();
   void resolveNow();
-  void advanceProgressTo(SimTime t);
-  void completeFinishedFlows();
   void scheduleNextWakeup();
+  void runSolverCheck();
+
+  std::uint32_t allocateFlowSlot();
+  void freeFlowSlot(std::uint32_t slot);
 
   Simulator engine_;
   std::vector<ResourceSpec> resources_;
-  std::vector<ActiveFlow> flows_;       // active flows, unordered
-  /// FlowId -> index into flows_, kept consistent with the swap-remove in
-  /// completeFinishedFlows() so flowRate() is O(1) instead of a linear scan.
-  std::unordered_map<std::uint64_t, std::size_t> flowIndex_;
+
+  // --- Per-resource state (indexed by resource) ---
+  std::vector<double> resCapacity_;      // last evaluated capacity
+  std::vector<std::uint32_t> resFlowCount_;
+  std::vector<double> resQueueDepth_;
+  mutable std::vector<std::uint32_t> ufParent_;  // path compression in findRoot
+  std::vector<std::uint32_t> ufSize_;
+
+  // --- Per-component state (indexed by union-find root resource) ---
+  std::vector<std::uint32_t> compHead_;  // intrusive flow-slot list
+  std::vector<std::uint32_t> compTail_;
+  std::vector<std::uint32_t> compFlowCount_;
+  std::vector<SimTime> compLastProgress_;
+  std::vector<SimTime> compNextCompletion_;  // absolute; +inf when unknown
+  std::vector<char> compDirty_;
+  std::vector<char> compListed_;
+  std::vector<std::uint32_t> activeRoots_;  // lazily filtered
+  std::vector<std::uint32_t> dirtyRoots_;
+
+  // --- Per-flow state (slot-indexed; id 0 marks a free slot) ---
+  std::vector<std::uint64_t> flowId_;
+  std::vector<double> flowRemaining_;  // MiB
+  std::vector<double> flowWeight_;
+  std::vector<double> flowRateCap_;
+  std::vector<double> flowRate_;
+  std::vector<SimTime> flowStart_;
+  std::vector<util::Bytes> flowBytes_;
+  std::vector<std::function<void(const FlowStats&)>> flowOnComplete_;
+  std::vector<std::uint32_t> flowNext_;  // next slot in the component list
+  std::vector<std::uint32_t> pathOffset_;
+  std::vector<std::uint32_t> pathLen_;
+  std::vector<std::uint32_t> pathCap_;
+  std::vector<ResourceIndex> pathArena_;       // observer-facing path storage
+  std::vector<std::uint32_t> adjacencyArena_;  // same data, solver-facing
+  std::vector<std::uint32_t> freeFlowSlots_;
+  IdMap idMap_;
+
+  // --- Resolve scratch (reused; no steady-state allocations) ---
+  SolverWorkspace workspace_;
+  std::vector<std::uint32_t> subsetSlots_;
+  std::vector<FlowId> solvedIds_;
+  std::vector<util::MiBps> solvedRates_;
+  std::vector<DrainEntry> drain_;
+  SolverWorkspace checkWorkspace_;
+  std::vector<double> checkRates_;
+  std::vector<std::uint32_t> checkSlots_;
+
   std::size_t activeCount_ = 0;
   std::uint64_t nextFlowId_ = 1;
-  SimTime lastProgressTime_ = 0.0;
   bool resolvePending_ = false;
+  bool pendingAllDirty_ = false;
+  bool solverCheck_ = false;
   Seconds resolveInterval_ = 0.0;
   std::optional<EventId> wakeup_;
-  bool ratesValid_ = false;
   FluidObserver* observer_ = nullptr;
+
+  std::size_t resolveCount_ = 0;
+  std::size_t solverIterations_ = 0;
+  std::size_t lastSolvedFlows_ = 0;
 };
 
 }  // namespace beesim::sim

@@ -14,6 +14,132 @@ namespace {
 constexpr double kEps = 1e-9;
 }  // namespace
 
+void SolverWorkspace::ensureResourceCapacity(std::size_t resourceCount) {
+  if (resStamp_.size() >= resourceCount) return;
+  resStamp_.resize(resourceCount, 0);
+  residual_.resize(resourceCount, 0.0);
+  activeWeight_.resize(resourceCount, 0.0);
+  activeCount_.resize(resourceCount, 0);
+  saturated_.resize(resourceCount, 0);
+}
+
+std::size_t SolverWorkspace::solveSubset(const SolverView& view,
+                                         std::span<const std::uint32_t> flows,
+                                         std::span<double> rates) {
+  if (flows.empty()) return 0;
+  ensureResourceCapacity(view.capacity.size());
+  ++stamp_;
+
+  // Initialize the touched-resource scratch exactly once per resource: the
+  // stamp makes the arrays self-clearing, so solve cost scales with the
+  // subset, not with the global resource count.
+  touchedRes_.clear();
+  for (const auto f : flows) {
+    BEESIM_ASSERT(view.adjLen[f] > 0, "every flow must cross >= 1 resource");
+    BEESIM_ASSERT(view.weight[f] > 0.0, "flow weight must be positive");
+    const auto* adj = view.adjacency.data() + view.adjOffset[f];
+    for (std::uint32_t i = 0; i < view.adjLen[f]; ++i) {
+      const auto r = adj[i];
+      BEESIM_ASSERT(r < view.capacity.size(), "flow references an unknown resource");
+      if (resStamp_[r] != stamp_) {
+        resStamp_[r] = stamp_;
+        touchedRes_.push_back(r);
+        residual_[r] = view.capacity[r];
+        activeWeight_[r] = 0.0;
+        activeCount_[r] = 0;
+        saturated_[r] = 0;
+      }
+    }
+  }
+
+  // activeWeight_[r]: total weight of still-filling flows crossing r.
+  // activeCount_[r] tracks the same set exactly; when it reaches zero the
+  // weight is reset to exactly 0.0 (repeated subtraction of doubles can
+  // leave a ~1e-16 ghost that would stall the filling with delta == 0).
+  activeFlows_.clear();
+  for (const auto f : flows) {
+    const auto* adj = view.adjacency.data() + view.adjOffset[f];
+    bool dead = false;
+    for (std::uint32_t i = 0; i < view.adjLen[f]; ++i) {
+      if (view.capacity[adj[i]] <= 0.0) dead = true;
+    }
+    rates[f] = 0.0;
+    if (dead) continue;  // rate stays 0
+    for (std::uint32_t i = 0; i < view.adjLen[f]; ++i) {
+      activeWeight_[adj[i]] += view.weight[f];
+      ++activeCount_[adj[i]];
+    }
+    activeFlows_.push_back(f);
+  }
+
+  std::size_t iterations = 0;
+  while (!activeFlows_.empty()) {
+    ++iterations;
+
+    // The largest uniform *normalized* increment (rate per unit weight)
+    // every active flow can absorb.
+    double delta = std::numeric_limits<double>::infinity();
+    for (const auto r : touchedRes_) {
+      if (activeWeight_[r] <= 0.0) continue;
+      delta = std::min(delta, residual_[r] / activeWeight_[r]);
+    }
+    for (const auto f : activeFlows_) {
+      if (view.rateCap[f] <= 0.0) continue;
+      delta = std::min(delta, (view.rateCap[f] - rates[f]) / view.weight[f]);
+    }
+    BEESIM_ASSERT(delta < std::numeric_limits<double>::infinity(),
+                  "progressive filling found no bottleneck");
+    delta = std::max(delta, 0.0);
+
+    // Apply the increment.
+    for (const auto f : activeFlows_) rates[f] += delta * view.weight[f];
+    for (const auto r : touchedRes_) residual_[r] -= delta * activeWeight_[r];
+
+    // Freeze flows bottlenecked by a saturated resource or by their own cap.
+    for (const auto r : touchedRes_) {
+      if (activeWeight_[r] > 0.0 &&
+          residual_[r] <= kEps * std::max(1.0, view.capacity[r])) {
+        saturated_[r] = 1;
+        residual_[r] = std::max(residual_[r], 0.0);
+      }
+    }
+    std::size_t newlyFrozen = 0;
+    std::size_t i = 0;
+    while (i < activeFlows_.size()) {
+      const auto f = activeFlows_[i];
+      const auto* adj = view.adjacency.data() + view.adjOffset[f];
+      bool stop = false;
+      for (std::uint32_t k = 0; k < view.adjLen[f]; ++k) {
+        if (saturated_[adj[k]]) {
+          stop = true;
+          break;
+        }
+      }
+      if (!stop && view.rateCap[f] > 0.0 &&
+          rates[f] >= view.rateCap[f] - kEps * std::max(1.0, view.rateCap[f])) {
+        stop = true;
+      }
+      if (stop) {
+        ++newlyFrozen;
+        for (std::uint32_t k = 0; k < view.adjLen[f]; ++k) {
+          const auto r = adj[k];
+          activeWeight_[r] -= view.weight[f];
+          if (--activeCount_[r] == 0) activeWeight_[r] = 0.0;
+        }
+        activeFlows_[i] = activeFlows_.back();
+        activeFlows_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    // Progress guarantee: every iteration freezes at least one flow (delta was
+    // chosen as the tightest constraint).
+    BEESIM_ASSERT(newlyFrozen > 0, "progressive filling made no progress");
+  }
+
+  return iterations;
+}
+
 SolverResult solveMaxMin(std::span<const SolverResource> resources,
                          std::span<const SolverFlow> flows) {
   const std::size_t nRes = resources.size();
@@ -23,104 +149,33 @@ SolverResult solveMaxMin(std::span<const SolverResource> resources,
   result.rates.assign(nFlows, 0.0);
   if (nFlows == 0) return result;
 
-  std::vector<double> residual(nRes);
+  // Flatten to the CSR view the workspace core consumes.  This legacy entry
+  // point allocates per call; hot paths hold a workspace and flat arrays of
+  // their own (see FluidSimulator).
+  std::vector<double> capacity(nRes);
   for (std::size_t r = 0; r < nRes; ++r) {
     BEESIM_ASSERT(resources[r].capacity >= 0.0, "resource capacity must be >= 0");
-    residual[r] = resources[r].capacity;
+    capacity[r] = resources[r].capacity;
   }
-
-  // activeWeight[r]: total weight of still-filling flows crossing r.
-  // activeCount[r] tracks the same set exactly; when it reaches zero the
-  // weight is reset to exactly 0.0 (repeated subtraction of doubles can
-  // leave a ~1e-16 ghost that would stall the filling with delta == 0).
-  std::vector<double> activeWeight(nRes, 0.0);
-  std::vector<std::uint32_t> activeCount(nRes, 0);
-  std::vector<char> frozen(nFlows, 0);
-  std::size_t activeFlows = 0;
-
+  std::vector<std::uint32_t> adjacency;
+  std::vector<std::uint32_t> adjOffset(nFlows);
+  std::vector<std::uint32_t> adjLen(nFlows);
+  std::vector<double> weight(nFlows);
+  std::vector<double> rateCap(nFlows);
+  std::vector<std::uint32_t> subset(nFlows);
   for (std::size_t f = 0; f < nFlows; ++f) {
-    BEESIM_ASSERT(!flows[f].resources.empty(), "every flow must cross >= 1 resource");
-    BEESIM_ASSERT(flows[f].weight > 0.0, "flow weight must be positive");
-    bool dead = false;
-    for (const auto r : flows[f].resources) {
-      BEESIM_ASSERT(r < nRes, "flow references an unknown resource");
-      if (resources[r].capacity <= 0.0) dead = true;
-    }
-    if (dead) {
-      frozen[f] = 1;  // rate stays 0
-    } else {
-      for (const auto r : flows[f].resources) {
-        activeWeight[r] += flows[f].weight;
-        ++activeCount[r];
-      }
-      ++activeFlows;
-    }
+    adjOffset[f] = static_cast<std::uint32_t>(adjacency.size());
+    adjLen[f] = static_cast<std::uint32_t>(flows[f].resources.size());
+    adjacency.insert(adjacency.end(), flows[f].resources.begin(), flows[f].resources.end());
+    weight[f] = flows[f].weight;
+    rateCap[f] = flows[f].rateCap;
+    subset[f] = static_cast<std::uint32_t>(f);
   }
 
-  while (activeFlows > 0) {
-    ++result.iterations;
-
-    // The largest uniform *normalized* increment (rate per unit weight)
-    // every active flow can absorb.
-    double delta = std::numeric_limits<double>::infinity();
-    for (std::size_t r = 0; r < nRes; ++r) {
-      if (activeWeight[r] <= 0.0) continue;
-      delta = std::min(delta, residual[r] / activeWeight[r]);
-    }
-    for (std::size_t f = 0; f < nFlows; ++f) {
-      if (frozen[f] || flows[f].rateCap <= 0.0) continue;
-      delta = std::min(delta, (flows[f].rateCap - result.rates[f]) / flows[f].weight);
-    }
-    BEESIM_ASSERT(delta < std::numeric_limits<double>::infinity(),
-                  "progressive filling found no bottleneck");
-    delta = std::max(delta, 0.0);
-
-    // Apply the increment.
-    for (std::size_t f = 0; f < nFlows; ++f) {
-      if (!frozen[f]) result.rates[f] += delta * flows[f].weight;
-    }
-    for (std::size_t r = 0; r < nRes; ++r) {
-      residual[r] -= delta * activeWeight[r];
-    }
-
-    // Freeze flows bottlenecked by a saturated resource or by their own cap.
-    std::vector<char> resSaturated(nRes, 0);
-    for (std::size_t r = 0; r < nRes; ++r) {
-      if (activeWeight[r] > 0.0 &&
-          residual[r] <= kEps * std::max(1.0, resources[r].capacity)) {
-        resSaturated[r] = 1;
-        residual[r] = std::max(residual[r], 0.0);
-      }
-    }
-    std::size_t newlyFrozen = 0;
-    for (std::size_t f = 0; f < nFlows; ++f) {
-      if (frozen[f]) continue;
-      bool stop = false;
-      for (const auto r : flows[f].resources) {
-        if (resSaturated[r]) {
-          stop = true;
-          break;
-        }
-      }
-      if (!stop && flows[f].rateCap > 0.0 &&
-          result.rates[f] >= flows[f].rateCap - kEps * std::max(1.0, flows[f].rateCap)) {
-        stop = true;
-      }
-      if (stop) {
-        frozen[f] = 1;
-        ++newlyFrozen;
-        --activeFlows;
-        for (const auto r : flows[f].resources) {
-          activeWeight[r] -= flows[f].weight;
-          if (--activeCount[r] == 0) activeWeight[r] = 0.0;
-        }
-      }
-    }
-    // Progress guarantee: every iteration freezes at least one flow (delta was
-    // chosen as the tightest constraint).
-    BEESIM_ASSERT(newlyFrozen > 0, "progressive filling made no progress");
-  }
-
+  SolverWorkspace workspace;
+  result.iterations = workspace.solveSubset(
+      SolverView{capacity, adjacency, adjOffset, adjLen, weight, rateCap}, subset,
+      result.rates);
   return result;
 }
 

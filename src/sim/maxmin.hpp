@@ -12,6 +12,19 @@
 // Ethernet link is exactly what the paper's Scenario 1 exercises (Fig. 8/9: the hotter of the two server links
 // dictates completion time); the same abstraction covers storage-side
 // service capacity in Scenario 2.
+//
+// Two entry points:
+//
+//   * solveMaxMin(resources, flows) -- the original self-contained call,
+//     kept for existing callers and as the reference implementation for the
+//     differential check mode (BEESIM_SOLVER_CHECK).
+//   * SolverWorkspace::solveSubset -- the allocation-free core used by the
+//     fluid simulator's incremental resolver.  The caller owns the problem
+//     in flat CSR-style arrays (one shared adjacency arena, per-flow
+//     offset/length) and asks for the rates of an arbitrary *subset* of
+//     flows (one connected component at a time).  All scratch state lives in
+//     the workspace and is reused across solves, so a steady-state resolve
+//     performs zero heap allocations.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +57,51 @@ struct SolverResult {
   std::vector<util::MiBps> rates;
   /// Number of filling iterations (diagnostics / micro-bench).
   std::size_t iterations = 0;
+};
+
+/// CSR-style view of a max-min problem.  The per-flow arrays are indexed by
+/// *flow slot*; a slot's crossed resources are
+/// `adjacency[adjOffset[f] .. adjOffset[f] + adjLen[f])`.  Slots not named
+/// in a solveSubset call are ignored entirely, so callers may keep free
+/// (stale) slots in the arrays.
+struct SolverView {
+  std::span<const double> capacity;          // per resource
+  std::span<const std::uint32_t> adjacency;  // shared resource-index arena
+  std::span<const std::uint32_t> adjOffset;  // per flow slot
+  std::span<const std::uint32_t> adjLen;     // per flow slot
+  std::span<const double> weight;            // per flow slot
+  std::span<const double> rateCap;           // per flow slot (<= 0: uncapped)
+};
+
+/// Reusable scratch state for progressive filling.  One workspace may be
+/// used for any number of solves over problems of any size; internal arrays
+/// grow monotonically and are reused, so repeated solves of a stable-sized
+/// problem allocate nothing.
+class SolverWorkspace {
+ public:
+  /// Computes the weighted max-min rates of `flows` (slot indices into the
+  /// view's per-flow arrays), writing `rates[f]` for exactly those slots.
+  /// The subset must be self-contained (a union of connected components):
+  /// rates are computed as if no other flow existed.  Flows crossing a
+  /// zero-capacity resource receive rate 0.  Returns the number of filling
+  /// iterations.
+  std::size_t solveSubset(const SolverView& view, std::span<const std::uint32_t> flows,
+                          std::span<double> rates);
+
+ private:
+  void ensureResourceCapacity(std::size_t resourceCount);
+
+  // Per-resource scratch, stamped per solve so nothing needs clearing.
+  std::vector<std::uint64_t> resStamp_;
+  std::vector<double> residual_;
+  std::vector<double> activeWeight_;
+  std::vector<std::uint32_t> activeCount_;
+  std::vector<char> saturated_;
+  std::uint64_t stamp_ = 0;
+
+  // Compact per-solve lists (reused capacity).
+  std::vector<std::uint32_t> touchedRes_;
+  std::vector<std::uint32_t> activeFlows_;
 };
 
 /// Computes the max-min fair allocation.

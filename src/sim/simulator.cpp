@@ -1,16 +1,35 @@
 #include "sim/simulator.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace beesim::sim {
 
+namespace {
+constexpr std::uint64_t kSlotMask = 0xffffffffull;
+}  // namespace
+
 EventId Simulator::schedule(SimTime at, EventFn fn) {
   BEESIM_ASSERT(at >= now_, "cannot schedule an event in the past");
   BEESIM_ASSERT(fn != nullptr, "event callback must not be null");
-  const EventId id{nextEventId_++};
-  queue_.push(QueuedEvent{at, id.value, std::move(fn)});
-  outstanding_.insert(id.value);
-  return id;
+
+  std::uint32_t slot;
+  if (!freeSlots_.empty()) {
+    slot = freeSlots_.back();
+    freeSlots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    // Generations start at 1 so a default EventId{0} can never alias slot 0.
+    slots_.back().generation = 1;
+  }
+  EventSlot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.pending = true;
+  s.cancelled = false;
+  queue_.push(QueuedEvent{at, nextSequence_++, slot});
+  return EventId{slot | (static_cast<std::uint64_t>(s.generation) << 32)};
 }
 
 EventId Simulator::scheduleAfter(SimTime delay, EventFn fn) {
@@ -19,24 +38,43 @@ EventId Simulator::scheduleAfter(SimTime delay, EventFn fn) {
 }
 
 void Simulator::cancel(EventId id) {
-  // Only outstanding sequences are remembered: cancelling an event that has
-  // already fired (or was never scheduled) must not grow cancelled_ forever.
-  if (outstanding_.count(id.value) != 0) cancelled_.insert(id.value);
+  const auto slot = static_cast<std::uint32_t>(id.value & kSlotMask);
+  const auto generation = static_cast<std::uint32_t>(id.value >> 32);
+  if (slot >= slots_.size()) return;
+  EventSlot& s = slots_[slot];
+  // The generation stamp rejects handles from a previous tenancy of the same
+  // slot, so cancelling an already-fired id is a no-op and nothing grows.
+  if (!s.pending || s.generation != generation || s.cancelled) return;
+  s.cancelled = true;
+  ++cancelledCount_;
+}
+
+void Simulator::retireSlot(std::uint32_t slot) {
+  EventSlot& s = slots_[slot];
+  s.fn = nullptr;
+  s.pending = false;
+  s.cancelled = false;
+  ++s.generation;
+  freeSlots_.push_back(slot);
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    // Copy out the top event before popping: the callback may schedule more.
-    QueuedEvent event = queue_.top();
+    const QueuedEvent event = queue_.top();
     queue_.pop();
-    outstanding_.erase(event.sequence);
-    if (auto it = cancelled_.find(event.sequence); it != cancelled_.end()) {
-      cancelled_.erase(it);
+    EventSlot& s = slots_[event.slot];
+    if (s.cancelled) {
+      --cancelledCount_;
+      retireSlot(event.slot);
       continue;
     }
     BEESIM_ASSERT(event.at >= now_, "event queue yielded an event in the past");
     now_ = event.at;
-    event.fn();
+    // Move the callback out and retire the slot *before* invoking it: the
+    // callback may schedule new events, which can then reuse this slot.
+    EventFn fn = std::move(s.fn);
+    retireSlot(event.slot);
+    fn();
     return true;
   }
   return false;

@@ -3,12 +3,18 @@
 // A Simulator owns virtual time and an event queue.  Events scheduled for the
 // same instant fire in scheduling order (FIFO tie-break via a sequence
 // number), which makes runs bit-reproducible.
+//
+// Storage is a slot pool: queue entries are trivially-copyable triples
+// (time, sequence, slot) and callbacks live in generation-stamped slots that
+// are recycled through a free list.  Once the pool has warmed up to the
+// steady-state number of in-flight events, scheduling and cancelling perform
+// no heap allocations (callbacks small enough for std::function's inline
+// buffer included), which keeps the fluid resolver's hot path allocation-free.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "util/units.hpp"
@@ -18,7 +24,9 @@ namespace beesim::sim {
 /// Virtual time in seconds.
 using SimTime = util::Seconds;
 
-/// Handle to a scheduled event, usable for cancellation.
+/// Handle to a scheduled event, usable for cancellation.  Only ids returned
+/// by the simulator that issued them are meaningful; stale ids (already
+/// fired) are recognized via a per-slot generation stamp.
 struct EventId {
   std::uint64_t value = 0;
 };
@@ -41,8 +49,8 @@ class Simulator {
   EventId scheduleAfter(SimTime delay, EventFn fn);
 
   /// Cancel a pending event.  Cancelling an already-fired or unknown event is
-  /// a harmless no-op (the simulator only remembers outstanding sequences), so
-  /// long simulations can cancel freely without growing any bookkeeping.
+  /// a harmless no-op (the generation stamp rejects stale handles), so long
+  /// simulations can cancel freely without growing any bookkeeping.
   void cancel(EventId id);
 
   /// Execute the next pending event.  Returns false when the queue is empty.
@@ -62,13 +70,13 @@ class Simulator {
   /// Number of cancellations waiting for their event to surface.  Bounded by
   /// pending(); stays 0 when cancelling only already-fired events (regression
   /// guard for the unbounded-growth bug).
-  std::size_t cancelledBacklog() const { return cancelled_.size(); }
+  std::size_t cancelledBacklog() const { return cancelledCount_; }
 
  private:
   struct QueuedEvent {
     SimTime at;
     std::uint64_t sequence;
-    EventFn fn;
+    std::uint32_t slot;
   };
   struct Later {
     bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
@@ -76,12 +84,24 @@ class Simulator {
       return a.sequence > b.sequence;  // FIFO among equal timestamps
     }
   };
+  /// One pooled callback.  `generation` advances every time the slot is
+  /// retired, so an EventId (slot | generation << 32) from a previous tenancy
+  /// no longer matches.
+  struct EventSlot {
+    EventFn fn;
+    std::uint32_t generation = 0;
+    bool pending = false;
+    bool cancelled = false;
+  };
+
+  void retireSlot(std::uint32_t slot);
 
   SimTime now_ = 0.0;
-  std::uint64_t nextEventId_ = 1;
+  std::uint64_t nextSequence_ = 1;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
-  std::unordered_set<std::uint64_t> outstanding_;  // scheduled, not yet fired
-  std::unordered_set<std::uint64_t> cancelled_;    // subset of outstanding_
+  std::vector<EventSlot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
+  std::size_t cancelledCount_ = 0;
 };
 
 }  // namespace beesim::sim

@@ -43,10 +43,10 @@ void FlowTracer::bankInterval(SimTime until) {
   lastBankTime_ = until;
 }
 
-void FlowTracer::onFlowStarted(FlowId id, const std::vector<ResourceIndex>& path,
+void FlowTracer::onFlowStarted(FlowId id, std::span<const ResourceIndex> path,
                                util::Bytes bytes, SimTime at) {
   bankInterval(at);
-  live_[id.value] = LiveFlow{path, 0.0};
+  live_[id.value] = LiveFlow{{path.begin(), path.end()}, 0.0};
   TraceEvent event;
   event.kind = TraceEvent::Kind::kStart;
   event.time = at;
@@ -55,19 +55,25 @@ void FlowTracer::onFlowStarted(FlowId id, const std::vector<ResourceIndex>& path
   events_.push_back(event);
 }
 
-void FlowTracer::onRatesSolved(SimTime at, const std::vector<FlowId>& ids,
-                               const std::vector<util::MiBps>& rates) {
+void FlowTracer::onRatesSolved(SimTime at, std::span<const FlowId> ids,
+                               std::span<const util::MiBps> rates,
+                               std::size_t activeFlows) {
   bankInterval(at);
-  double total = 0.0;
+  // The solver reports only the re-solved components; flows elsewhere keep
+  // their previous rate, so the total is summed over all live flows.
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const auto it = live_.find(ids[i].value);
     if (it != live_.end()) it->second.rate = rates[i];
-    total += rates[i];
+  }
+  double total = 0.0;
+  for (const auto& [id, flow] : live_) {
+    (void)id;
+    total += flow.rate;
   }
   TraceEvent event;
   event.kind = TraceEvent::Kind::kRates;
   event.time = at;
-  event.activeFlows = ids.size();
+  event.activeFlows = activeFlows;
   event.totalRate = total;
   events_.push_back(event);
 }

@@ -16,6 +16,7 @@
 
 #include <filesystem>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,10 +57,10 @@ class FlowTracer final : public FluidObserver {
   FlowTracer& operator=(const FlowTracer&) = delete;
 
   // FluidObserver:
-  void onFlowStarted(FlowId id, const std::vector<ResourceIndex>& path, util::Bytes bytes,
+  void onFlowStarted(FlowId id, std::span<const ResourceIndex> path, util::Bytes bytes,
                      SimTime at) override;
-  void onRatesSolved(SimTime at, const std::vector<FlowId>& ids,
-                     const std::vector<util::MiBps>& rates) override;
+  void onRatesSolved(SimTime at, std::span<const FlowId> ids,
+                     std::span<const util::MiBps> rates, std::size_t activeFlows) override;
   void onFlowCompleted(const FlowStats& stats) override;
 
   const std::vector<TraceEvent>& events() const { return events_; }

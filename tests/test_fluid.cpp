@@ -258,12 +258,12 @@ TEST(Fluid, ManyFlowsConserveBytes) {
 /// Minimal observer counting start/complete callbacks per flow id.
 class CountingObserver : public FluidObserver {
  public:
-  void onFlowStarted(FlowId id, const std::vector<ResourceIndex>&, util::Bytes,
+  void onFlowStarted(FlowId id, std::span<const ResourceIndex>, util::Bytes,
                      SimTime) override {
     started.push_back(id.value);
   }
-  void onRatesSolved(SimTime, const std::vector<FlowId>&,
-                     const std::vector<util::MiBps>&) override {}
+  void onRatesSolved(SimTime, std::span<const FlowId>, std::span<const util::MiBps>,
+                     std::size_t) override {}
   void onFlowCompleted(const FlowStats& stats) override {
     completed.push_back(stats.id.value);
   }
@@ -315,10 +315,10 @@ class RateCheckObserver : public FluidObserver {
  public:
   explicit RateCheckObserver(FluidSimulator& fluid) : fluid_(fluid) {}
 
-  void onFlowStarted(FlowId, const std::vector<ResourceIndex>&, util::Bytes,
+  void onFlowStarted(FlowId, std::span<const ResourceIndex>, util::Bytes,
                      SimTime) override {}
-  void onRatesSolved(SimTime, const std::vector<FlowId>& ids,
-                     const std::vector<util::MiBps>& rates) override {
+  void onRatesSolved(SimTime, std::span<const FlowId> ids,
+                     std::span<const util::MiBps> rates, std::size_t) override {
     for (std::size_t i = 0; i < ids.size(); ++i) {
       EXPECT_DOUBLE_EQ(fluid_.flowRate(ids[i]), rates[i]);
       ++checks;

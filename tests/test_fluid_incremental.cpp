@@ -1,0 +1,390 @@
+// Tests of the incremental, component-aware rate resolution in the fluid
+// core: deferred completion callbacks (reentrancy), component dirtiness,
+// randomized differential checks against from-scratch solves, the stalled-
+// flow deadlock diagnostics, and the zero-allocation steady-state guarantee.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/fluid.hpp"
+#include "sim/maxmin.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+// --- Global allocation probe -------------------------------------------
+//
+// The test binary replaces the global allocator with a counting wrapper.
+// The counter only ticks while a test arms it, so the rest of the suite is
+// unaffected (beyond a predictable malloc passthrough).
+namespace {
+std::atomic<std::uint64_t> gAllocCount{0};
+std::atomic<bool> gAllocProbeArmed{false};
+
+struct AllocProbe {
+  AllocProbe() {
+    gAllocCount.store(0, std::memory_order_relaxed);
+    gAllocProbeArmed.store(true, std::memory_order_relaxed);
+  }
+  ~AllocProbe() { gAllocProbeArmed.store(false, std::memory_order_relaxed); }
+  std::uint64_t count() const { return gAllocCount.load(std::memory_order_relaxed); }
+};
+}  // namespace
+
+// GCC's allocator-pairing analysis cannot see that these replacements keep
+// new/delete consistent (both sides are malloc/free underneath).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+void* countingAlloc(std::size_t size) {
+  if (gAllocProbeArmed.load(std::memory_order_relaxed)) {
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return countingAlloc(size); }
+void* operator new[](std::size_t size) { return countingAlloc(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace beesim::sim {
+namespace {
+
+using namespace beesim::util::literals;
+
+ResourceIndex addLink(FluidSimulator& fluid, const std::string& name, double capacity) {
+  return fluid.addResource(ResourceSpec{name, constantCapacity(capacity)});
+}
+
+/// Observer recording the id set of every onRatesSolved call.
+class SolveSetObserver : public FluidObserver {
+ public:
+  void onFlowStarted(FlowId, std::span<const ResourceIndex>, util::Bytes,
+                     SimTime) override {}
+  void onRatesSolved(SimTime, std::span<const FlowId> ids, std::span<const util::MiBps>,
+                     std::size_t) override {
+    std::set<std::uint64_t> set;
+    for (const auto id : ids) set.insert(id.value);
+    solves.push_back(std::move(set));
+  }
+  void onFlowCompleted(const FlowStats&) override {}
+
+  std::vector<std::set<std::uint64_t>> solves;
+};
+
+TEST(FluidIncremental, CompletionCallbacksMayStartFlowsAtSameInstant) {
+  // Regression for the completion-sweep reentrancy hazard: four flows finish
+  // at the *same* timestamp, and every callback immediately starts a new
+  // flow.  Before callbacks were deferred to a drain list, the callback
+  // mutated the flow bookkeeping while the sweep was iterating it.
+  FluidSimulator fluid;
+  const auto link = addLink(fluid, "link", 100.0);
+  std::size_t firstWave = 0;
+  std::size_t secondWave = 0;
+  double lastEnd = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    fluid.startFlow(FlowSpec{.path = {link},
+                             .bytes = 100_MiB,
+                             .queueWeight = 1.0,
+                             .rateCap = 0.0,
+                             .onComplete = [&](const FlowStats&) {
+                               ++firstWave;
+                               fluid.startFlow(FlowSpec{
+                                   .path = {link},
+                                   .bytes = 50_MiB,
+                                   .queueWeight = 1.0,
+                                   .rateCap = 0.0,
+                                   .onComplete = [&](const FlowStats& s) {
+                                     ++secondWave;
+                                     lastEnd = std::max(lastEnd, s.endTime);
+                                   }});
+                             }});
+  }
+  fluid.run();
+  EXPECT_EQ(firstWave, 4u);
+  EXPECT_EQ(secondWave, 4u);
+  // Wave 1: 4 x 100 MiB at 25 MiB/s each -> t=4.  Wave 2: 4 x 50 MiB at
+  // 25 MiB/s -> +2 s.
+  EXPECT_NEAR(lastEnd, 6.0, 1e-6);
+}
+
+TEST(FluidIncremental, CompletionCallbackMayInvalidateCapacities) {
+  FluidSimulator fluid;
+  const auto link = addLink(fluid, "link", 100.0);
+  bool done = false;
+  fluid.startFlow(FlowSpec{.path = {link},
+                           .bytes = 100_MiB,
+                           .queueWeight = 1.0,
+                           .rateCap = 0.0,
+                           .onComplete = [&](const FlowStats&) {
+                             fluid.invalidateCapacities();
+                             done = true;
+                           }});
+  fluid.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(FluidIncremental, DisjointComponentsAreNotResolved) {
+  // Two flows on disjoint links: starting the second must re-solve only its
+  // own component; the first flow's (clean) component is left untouched.
+  FluidSimulator fluid;
+  SolveSetObserver observer;
+  fluid.setObserver(&observer);
+  const auto linkA = addLink(fluid, "a", 100.0);
+  const auto linkB = addLink(fluid, "b", 100.0);
+  const auto f1 = fluid.startFlow(FlowSpec{.path = {linkA}, .bytes = 1_GiB,
+                                           .queueWeight = 1.0, .rateCap = 0.0,
+                                           .onComplete = nullptr});
+  fluid.engine().runUntil(0.0);
+  FlowId f2;
+  fluid.engine().schedule(1.0, [&] {
+    f2 = fluid.startFlow(FlowSpec{.path = {linkB}, .bytes = 1_GiB,
+                                  .queueWeight = 1.0, .rateCap = 0.0,
+                                  .onComplete = nullptr});
+  });
+  fluid.engine().runUntil(1.0);
+  ASSERT_EQ(observer.solves.size(), 2u);
+  EXPECT_EQ(observer.solves[0], (std::set<std::uint64_t>{f1.value}));
+  EXPECT_EQ(observer.solves[1], (std::set<std::uint64_t>{f2.value}));
+  // The clean component kept its rate without being re-solved.
+  EXPECT_NEAR(fluid.flowRate(f1), 100.0, 1e-9);
+  EXPECT_NEAR(fluid.flowRate(f2), 100.0, 1e-9);
+}
+
+TEST(FluidIncremental, SharedResourceMergesComponents) {
+  // A flow crossing both links welds the two components into one, and the
+  // merged component is re-solved as a whole.
+  FluidSimulator fluid;
+  SolveSetObserver observer;
+  fluid.setObserver(&observer);
+  const auto linkA = addLink(fluid, "a", 100.0);
+  const auto linkB = addLink(fluid, "b", 100.0);
+  const auto f1 = fluid.startFlow(FlowSpec{.path = {linkA}, .bytes = 1_GiB,
+                                           .queueWeight = 1.0, .rateCap = 0.0,
+                                           .onComplete = nullptr});
+  const auto f2 = fluid.startFlow(FlowSpec{.path = {linkB}, .bytes = 1_GiB,
+                                           .queueWeight = 1.0, .rateCap = 0.0,
+                                           .onComplete = nullptr});
+  fluid.engine().runUntil(0.0);
+  FlowId f3;
+  fluid.engine().schedule(1.0, [&] {
+    f3 = fluid.startFlow(FlowSpec{.path = {linkA, linkB}, .bytes = 1_GiB,
+                                  .queueWeight = 1.0, .rateCap = 0.0,
+                                  .onComplete = nullptr});
+  });
+  fluid.engine().runUntil(1.0);
+  ASSERT_FALSE(observer.solves.empty());
+  EXPECT_EQ(observer.solves.back(),
+            (std::set<std::uint64_t>{f1.value, f2.value, f3.value}));
+  // Max-min over the merged component: f3 is bottlenecked to 50 on either
+  // link, and f1/f2 take the remainder.
+  EXPECT_NEAR(fluid.flowRate(f3), 50.0, 1e-9);
+  EXPECT_NEAR(fluid.flowRate(f1), 50.0, 1e-9);
+  EXPECT_NEAR(fluid.flowRate(f2), 50.0, 1e-9);
+}
+
+TEST(FluidIncremental, DeadlockReportsStalledFlowPaths) {
+  FluidSimulator fluid;
+  const auto nic = addLink(fluid, "client-nic", 100.0);
+  const auto dead = addLink(fluid, "dead-ost", 0.0);
+  fluid.startFlow(FlowSpec{.path = {nic, dead}, .bytes = 1_MiB, .queueWeight = 1.0,
+                           .rateCap = 0.0, .onComplete = nullptr});
+  try {
+    fluid.run();
+    FAIL() << "expected a deadlock ContractError";
+  } catch (const util::ContractError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlocked"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("flow #"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("client-nic"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("dead-ost"), std::string::npos) << msg;
+  }
+}
+
+TEST(FluidIncremental, RandomizedIncrementalMatchesScratchSolve) {
+  // Property test: random multi-component scenarios with staggered starts,
+  // weights, rate caps and periodic re-solves, run with the differential
+  // check enabled -- every resolve re-solves all live flows from scratch and
+  // asserts the incremental rates match to 1e-9 relative.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    util::Rng rng(seed);
+    FluidSimulator fluid;
+    fluid.setSolverCheck(true);
+    fluid.setResolveInterval(0.1);
+
+    const std::size_t nGroups = 1 + seed % 3;  // disjoint resource groups
+    constexpr std::size_t kGroupSize = 4;
+    std::vector<ResourceIndex> resources;
+    for (std::size_t g = 0; g < nGroups; ++g) {
+      for (std::size_t r = 0; r < kGroupSize; ++r) {
+        const double base = rng.uniform(50.0, 500.0);
+        // Half the resources wobble over time so clean/dirty transitions and
+        // capacity-change detection are exercised, not just membership.
+        if (r % 2 == 0) {
+          resources.push_back(fluid.addResource(ResourceSpec{
+              "r" + std::to_string(g) + "_" + std::to_string(r),
+              [base](const ResourceLoad& load) {
+                return base * (1.0 + 0.2 * std::sin(3.0 * load.time));
+              }}));
+        } else {
+          resources.push_back(addLink(
+              fluid, "r" + std::to_string(g) + "_" + std::to_string(r), base));
+        }
+      }
+    }
+
+    std::size_t completed = 0;
+    constexpr std::size_t kFlows = 24;
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      const auto group =
+          static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(nGroups) - 1));
+      FlowSpec spec;
+      const auto pathLen = static_cast<std::size_t>(1 + rng.uniformInt(0, 2));
+      for (const auto r : rng.sampleWithoutReplacement(kGroupSize, pathLen)) {
+        spec.path.push_back(resources[group * kGroupSize + r]);
+      }
+      spec.bytes = static_cast<util::Bytes>(rng.uniformInt(10, 200)) * 1_MiB;
+      spec.queueWeight = rng.uniform(0.5, 4.0);
+      spec.rateCap = rng.uniform(0.0, 1.0) < 0.5 ? rng.uniform(20.0, 100.0) : 0.0;
+      spec.onComplete = [&completed](const FlowStats&) { ++completed; };
+      fluid.startFlowAt(rng.uniform(0.0, 2.0), std::move(spec));
+    }
+    fluid.run();
+    EXPECT_EQ(completed, kFlows) << "seed " << seed;
+  }
+}
+
+TEST(FluidIncremental, SteadyStateResolveIsAllocationFree) {
+  // The acceptance bar for the incremental resolver: once warmed up, the
+  // periodic resolve path (advance -> capacity evaluation -> component solve
+  // -> wakeup rescheduling) performs zero heap allocations.  Time-varying
+  // capacities keep every component dirty, so the solver genuinely runs in
+  // the measured window.
+  FluidSimulator fluid;
+  fluid.setSolverCheck(false);  // the differential check allocates by design
+  fluid.setResolveInterval(0.05);
+  std::vector<ResourceIndex> links;
+  for (int r = 0; r < 6; ++r) {
+    links.push_back(fluid.addResource(ResourceSpec{
+        "link" + std::to_string(r), [](const ResourceLoad& load) {
+          return 200.0 + 50.0 * std::sin(load.time);
+        }}));
+  }
+  // Two disjoint components, several multi-resource flows each; sizes large
+  // enough that nothing completes inside the measurement window.
+  for (int f = 0; f < 4; ++f) {
+    fluid.startFlow(FlowSpec{.path = {links[0], links[1], links[2]},
+                             .bytes = 1_TiB,
+                             .queueWeight = 1.0 + f,
+                             .rateCap = 0.0,
+                             .onComplete = nullptr});
+    fluid.startFlow(FlowSpec{.path = {links[3], links[4], links[5]},
+                             .bytes = 1_TiB,
+                             .queueWeight = 1.0 + f,
+                             .rateCap = 0.0,
+                             .onComplete = nullptr});
+  }
+  fluid.engine().runUntil(1.0);  // warm up scratch arrays and event slots
+  const auto resolvesBefore = fluid.resolveCount();
+  const auto iterationsBefore = fluid.solverIterations();
+  {
+    AllocProbe probe;
+    fluid.engine().runUntil(2.0);
+    EXPECT_EQ(probe.count(), 0u)
+        << "steady-state resolves must not allocate";
+  }
+  EXPECT_GE(fluid.resolveCount(), resolvesBefore + 15);
+  EXPECT_GT(fluid.solverIterations(), iterationsBefore)
+      << "the solver must actually run in the measured window";
+  EXPECT_EQ(fluid.activeFlows(), 8u);
+}
+
+TEST(SolverWorkspaceTest, SubsetSolveMatchesWholeProblem) {
+  // Solving two disjoint halves of a problem through one reused workspace
+  // must reproduce the reference whole-problem solution exactly (max-min
+  // decomposes over connected components).
+  util::Rng rng(7);
+  constexpr std::size_t kRes = 8;
+  constexpr std::size_t kFlows = 32;
+  std::vector<SolverResource> resources(kRes);
+  for (auto& r : resources) r.capacity = rng.uniform(50.0, 400.0);
+  std::vector<SolverFlow> flows(kFlows);
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    const std::size_t half = f % 2;  // even flows -> resources 0..3, odd -> 4..7
+    for (const auto r : rng.sampleWithoutReplacement(kRes / 2, 2)) {
+      flows[f].resources.push_back(static_cast<std::uint32_t>(half * kRes / 2 + r));
+    }
+    flows[f].weight = rng.uniform(0.5, 4.0);
+    if (f % 3 == 0) flows[f].rateCap = rng.uniform(10.0, 60.0);
+  }
+  const auto reference = solveMaxMin(resources, flows);
+
+  // Flatten to the CSR view.
+  std::vector<double> capacity(kRes);
+  for (std::size_t r = 0; r < kRes; ++r) capacity[r] = resources[r].capacity;
+  std::vector<std::uint32_t> adjacency;
+  std::vector<std::uint32_t> adjOffset(kFlows);
+  std::vector<std::uint32_t> adjLen(kFlows);
+  std::vector<double> weight(kFlows);
+  std::vector<double> rateCap(kFlows);
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    adjOffset[f] = static_cast<std::uint32_t>(adjacency.size());
+    adjLen[f] = static_cast<std::uint32_t>(flows[f].resources.size());
+    adjacency.insert(adjacency.end(), flows[f].resources.begin(),
+                     flows[f].resources.end());
+    weight[f] = flows[f].weight;
+    rateCap[f] = flows[f].rateCap;
+  }
+  const SolverView view{capacity, adjacency, adjOffset, adjLen, weight, rateCap};
+
+  SolverWorkspace workspace;
+  std::vector<double> rates(kFlows, -1.0);
+  std::vector<std::uint32_t> evens;
+  std::vector<std::uint32_t> odds;
+  for (std::uint32_t f = 0; f < kFlows; ++f) (f % 2 == 0 ? evens : odds).push_back(f);
+  workspace.solveSubset(view, evens, rates);
+  workspace.solveSubset(view, odds, rates);
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    EXPECT_NEAR(rates[f], reference.rates[f],
+                1e-9 * std::max(1.0, reference.rates[f]))
+        << "flow " << f;
+  }
+}
+
+TEST(SolverWorkspaceTest, IgnoresSlotsOutsideTheSubset) {
+  // Stale (free) slots may carry garbage adjacency; only the named subset is
+  // read.  Capacity 100, two live slots out of four.
+  const std::vector<double> capacity{100.0};
+  const std::vector<std::uint32_t> adjacency{0, 0, 0, 0};
+  const std::vector<std::uint32_t> adjOffset{0, 1, 2, 3};
+  const std::vector<std::uint32_t> adjLen{1, 0, 1, 0};  // slots 1/3 are free
+  const std::vector<double> weight{1.0, 0.0, 3.0, -1.0};
+  const std::vector<double> rateCap{0.0, 0.0, 0.0, 0.0};
+  const SolverView view{capacity, adjacency, adjOffset, adjLen, weight, rateCap};
+  SolverWorkspace workspace;
+  std::vector<double> rates(4, -7.0);
+  const std::vector<std::uint32_t> subset{0, 2};
+  workspace.solveSubset(view, subset, rates);
+  EXPECT_NEAR(rates[0], 25.0, 1e-9);
+  EXPECT_NEAR(rates[2], 75.0, 1e-9);
+  EXPECT_DOUBLE_EQ(rates[1], -7.0);  // untouched
+  EXPECT_DOUBLE_EQ(rates[3], -7.0);
+}
+
+}  // namespace
+}  // namespace beesim::sim

@@ -1,0 +1,122 @@
+// Campaign CSV goldens: the exact bytes a fixed-seed campaign writes are
+// pinned against files committed under tests/golden/.  Any change to the
+// fluid core (solver order, component decomposition, completion batching)
+// that alters simulated trajectories -- beyond formatting-invisible ULP
+// noise -- fails here before it can silently shift the paper's figures.
+//
+// Regenerate the goldens (only when a behavior change is *intended*) with:
+//   BEESIM_REGEN_GOLDEN=1 ./build/tests/beesim_tests --gtest_filter='Golden*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/campaign.hpp"
+#include "harness/concurrent.hpp"
+#include "ior/runner.hpp"
+#include "topology/plafrim.hpp"
+#include "util/units.hpp"
+
+namespace beesim {
+namespace {
+
+using namespace beesim::util::literals;
+
+std::filesystem::path goldenDir() { return BEESIM_TEST_GOLDEN_DIR; }
+
+bool regenRequested() {
+  const char* regen = std::getenv("BEESIM_REGEN_GOLDEN");
+  return regen != nullptr && *regen != '\0' && std::string(regen) != "0";
+}
+
+std::string readFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Compare the store's CSV bytes against `name` in the golden dir (or
+/// rewrite the golden when BEESIM_REGEN_GOLDEN is set).
+void expectMatchesGolden(const harness::ResultStore& store, const std::string& name) {
+  const auto tmp = std::filesystem::temp_directory_path() / ("beesim_" + name);
+  store.writeCsv(tmp);
+  const auto produced = readFile(tmp);
+  std::filesystem::remove(tmp);
+  ASSERT_FALSE(produced.empty());
+
+  const auto goldenPath = goldenDir() / name;
+  if (regenRequested()) {
+    std::filesystem::create_directories(goldenDir());
+    std::ofstream out(goldenPath, std::ios::binary);
+    out << produced;
+    return;
+  }
+  const auto golden = readFile(goldenPath);
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << goldenPath
+                               << " (regenerate with BEESIM_REGEN_GOLDEN=1)";
+  EXPECT_EQ(produced, golden) << "campaign CSV is no longer byte-identical to "
+                              << goldenPath;
+}
+
+TEST(GoldenCampaign, SingleAppCampaignCsvIsByteStable) {
+  std::vector<harness::CampaignEntry> entries;
+  for (const unsigned count : {2u, 8u}) {
+    harness::CampaignEntry entry;
+    entry.config.cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G, 4);
+    entry.config.fs.defaultStripe.stripeCount = count;
+    entry.config.job = ior::IorJob::onFirstNodes(4, 8);
+    entry.config.ior.blockSize = ior::blockSizeForTotal(4_GiB, entry.config.job.ranks());
+    entry.factors["count"] = std::to_string(count);
+    entries.push_back(std::move(entry));
+  }
+  harness::ProtocolOptions options;
+  options.repetitions = 3;
+  const auto store = harness::executeCampaign(entries, options, 20220714);
+  expectMatchesGolden(store, "campaign_single_app.csv");
+}
+
+TEST(GoldenCampaign, ConcurrentAppsCampaignCsvIsByteStable) {
+  // The paper's Section IV-D setting: two 4-node apps, once on disjoint
+  // pinned targets (separate solver components) and once all-shared --
+  // exactly the topologies the incremental resolver treats differently.
+  harness::ResultStore store;
+  for (const bool disjoint : {true, false}) {
+    for (std::uint64_t rep = 0; rep < 3; ++rep) {
+      harness::RunConfig base;
+      base.cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G, 8);
+      base.fs.defaultStripe.stripeCount = disjoint ? 2 : 8;
+
+      std::vector<harness::AppSpec> apps(2);
+      for (std::size_t a = 0; a < 2; ++a) {
+        apps[a].job.ppn = 8;
+        for (std::size_t n = 0; n < 4; ++n) apps[a].job.nodeIds.push_back(a * 4 + n);
+        apps[a].ior.blockSize = ior::blockSizeForTotal(8_GiB, apps[a].job.ranks());
+        if (disjoint) {
+          apps[a].pinnedTargets = std::vector<std::size_t>{a, 4 + a};
+        } else {
+          apps[a].pinnedTargets = std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7};
+        }
+      }
+      const auto result =
+          harness::runConcurrent(base, apps, 43000 + 100 * (disjoint ? 1 : 0) + rep);
+
+      harness::ResultRow row;
+      row.factors["sharing"] = disjoint ? "disjoint" : "shared";
+      row.factors["rep"] = std::to_string(rep);
+      row.metrics["aggregate_mibps"] = result.aggregateBandwidth;
+      row.metrics["app0_mibps"] = result.apps[0].bandwidth;
+      row.metrics["app1_mibps"] = result.apps[1].bandwidth;
+      row.metrics["shared_targets"] = static_cast<double>(result.sharedTargets);
+      store.add(std::move(row));
+    }
+  }
+  expectMatchesGolden(store, "campaign_concurrent.csv");
+}
+
+}  // namespace
+}  // namespace beesim

@@ -79,6 +79,20 @@ TEST(Simulator, CancelledBacklogDrainsWhenEventsExpire) {
   EXPECT_EQ(sim.cancelledBacklog(), 0u);
 }
 
+TEST(Simulator, StaleCancelDoesNotHitRecycledSlot) {
+  // The event pool recycles slots; a handle kept past its event's firing
+  // must not cancel whatever event reuses the slot (generation stamp).
+  Simulator sim;
+  const auto a = sim.schedule(1.0, [] {});
+  sim.run();
+  bool ran = false;
+  sim.schedule(2.0, [&] { ran = true; });  // reuses a's slot
+  sim.cancel(a);                           // stale handle
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.cancelledBacklog(), 0u);
+}
+
 TEST(Simulator, CancelUnknownIdIsHarmless) {
   Simulator sim;
   sim.cancel(EventId{999});
