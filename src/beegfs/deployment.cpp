@@ -76,7 +76,10 @@ Deployment::Deployment(sim::FluidSimulator& fluid, topo::ClusterConfig cluster,
   }
 
   // -- Storage hosts: server NIC, OSS service cap, OSTs. ------------------
+  targetHealth_.assign(cluster_.targetCount(), 1.0);
+  hostLinkHealth_.assign(cluster_.hosts.size(), 1.0);
   util::Rng deviceRng = rng.split();
+  std::size_t flatTarget = 0;
   for (std::size_t h = 0; h < cluster_.hosts.size(); ++h) {
     const auto& host = cluster_.hosts[h];
     // Server links fluctuate per noise epoch (transient congestion); see
@@ -88,11 +91,12 @@ Deployment::Deployment(sim::FluidSimulator& fluid, topo::ClusterConfig cluster,
             cluster_.network.serverLinkNoiseSigmaLog),
         deviceRng.split(), params_.noiseEpoch));
     storage::NoisyDevice* link = linkNoise_.back().get();
+    const double* linkHealth = &hostLinkHealth_[h];
     serverNicRes_.push_back(fluid_.addResource(sim::ResourceSpec{
         .name = host.name + "/nic",
         .capacity =
-            [link](const sim::ResourceLoad& load) {
-              return link->currentRate(load.queueDepth, load.time);
+            [link, linkHealth](const sim::ResourceLoad& load) {
+              return link->currentRate(load.queueDepth, load.time) * *linkHealth;
             },
     }));
     if (host.serviceCap > 0.0) {
@@ -110,15 +114,39 @@ Deployment::Deployment(sim::FluidSimulator& fluid, topo::ClusterConfig cluster,
           makeVariability(targetCfg.variability), deviceRng.split(), params_.noiseEpoch));
       storage::NoisyDevice* device = devices_.back().get();
       const double storageFactor = environment_.storage;
+      const double* health = &targetHealth_[flatTarget++];
       ostRes_.push_back(fluid_.addResource(sim::ResourceSpec{
           .name = targetCfg.name,
           .capacity =
-              [device, storageFactor](const sim::ResourceLoad& load) {
-                return device->currentRate(load.queueDepth, load.time) * storageFactor;
+              [device, storageFactor, health](const sim::ResourceLoad& load) {
+                return device->currentRate(load.queueDepth, load.time) * storageFactor *
+                       *health;
               },
       }));
     }
   }
+}
+
+void Deployment::setTargetHealth(std::size_t flatTarget, double factor) {
+  BEESIM_ASSERT(flatTarget < targetHealth_.size(), "unknown storage target");
+  BEESIM_ASSERT(factor >= 0.0, "target health factor must be >= 0");
+  targetHealth_[flatTarget] = factor;
+}
+
+double Deployment::targetHealth(std::size_t flatTarget) const {
+  BEESIM_ASSERT(flatTarget < targetHealth_.size(), "unknown storage target");
+  return targetHealth_[flatTarget];
+}
+
+void Deployment::setHostLinkHealth(std::size_t host, double factor) {
+  BEESIM_ASSERT(host < hostLinkHealth_.size(), "unknown storage host");
+  BEESIM_ASSERT(factor >= 0.0, "host link health factor must be >= 0");
+  hostLinkHealth_[host] = factor;
+}
+
+double Deployment::hostLinkHealth(std::size_t host) const {
+  BEESIM_ASSERT(host < hostLinkHealth_.size(), "unknown storage host");
+  return hostLinkHealth_[host];
 }
 
 double Deployment::clientContentionFactor(int processes) const {

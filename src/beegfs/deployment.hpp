@@ -66,6 +66,20 @@ class Deployment {
   /// queue weight budget the IOR runner splits across a rank's flows.
   double nodeEffectiveInflight(std::size_t node, int ppn) const;
 
+  // -- Fault-injection hooks (see src/faults/injector.hpp). ---------------
+
+  /// Multiply a target's device capacity by `factor` (0 = dead OST, 1 =
+  /// healthy, fractions = degraded media).  Takes effect at the next
+  /// capacity evaluation; callers follow up with fluid().invalidateCapacities()
+  /// so in-flight flows re-solve immediately.
+  void setTargetHealth(std::size_t flatTarget, double factor);
+  double targetHealth(std::size_t flatTarget) const;
+
+  /// Multiply a storage host's NIC capacity by `factor` (0 = crashed OSS,
+  /// fractions = degraded link).
+  void setHostLinkHealth(std::size_t host, double factor);
+  double hostLinkHealth(std::size_t host) const;
+
   // -- Resource accessors (exposed for tests and diagnostics). -----------
   sim::ResourceIndex clientResource(std::size_t node) const;
   sim::ResourceIndex nodeNicResource(std::size_t node) const;
@@ -97,6 +111,12 @@ class Deployment {
   std::vector<std::unique_ptr<NodeState>> nodeStates_;
   std::vector<std::unique_ptr<storage::NoisyDevice>> devices_;
   std::vector<std::unique_ptr<storage::NoisyDevice>> linkNoise_;
+
+  // Fault-injection capacity multipliers (1.0 = healthy).  Addresses are
+  // captured by the capacity callbacks, so the vectors are sized once in the
+  // constructor and never resized.
+  std::vector<double> targetHealth_;
+  std::vector<double> hostLinkHealth_;
 
   std::vector<sim::ResourceIndex> clientRes_;
   std::vector<sim::ResourceIndex> nodeNicRes_;

@@ -1,6 +1,7 @@
 #include "beegfs/filesystem.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "util/error.hpp"
@@ -58,17 +59,25 @@ FileHandle FileSystem::create(const std::string& path) {
       std::min<std::size_t>(count, cluster.targetCount()), cluster, rng_);
 
   // Replace any offline picks with random online targets not already used.
+  // The replacements are sampled from rng_: a flat ascending fill would bias
+  // every repaired stripe toward the low-numbered targets of server 0.
   const auto isOnline = [&](std::size_t t) { return deployment_.mgmt().target(t).online; };
   if (!std::all_of(targets.begin(), targets.end(), isOnline)) {
     std::vector<std::size_t> repaired;
     for (const auto t : targets) {
       if (isOnline(t)) repaired.push_back(t);
     }
+    std::vector<std::size_t> candidates;
     for (const auto t : online) {
-      if (repaired.size() >= count) break;
       if (std::find(repaired.begin(), repaired.end(), t) == repaired.end()) {
-        repaired.push_back(t);
+        candidates.push_back(t);
       }
+    }
+    while (repaired.size() < count && !candidates.empty()) {
+      const auto pick = static_cast<std::size_t>(
+          rng_.uniformInt(0, static_cast<std::int64_t>(candidates.size()) - 1));
+      repaired.push_back(candidates[pick]);
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
     }
     targets = std::move(repaired);
   }
@@ -92,6 +101,15 @@ const FileInfo& FileSystem::info(FileHandle handle) const {
   return files_[handle.value];
 }
 
+std::map<std::size_t, std::size_t> FileSystem::degradedSlots(FileHandle handle) const {
+  BEESIM_ASSERT(handle.value < files_.size(), "unknown file handle");
+  std::map<std::size_t, std::size_t> slots;
+  for (const auto& [key, target] : substitutes_) {
+    if (key.first == handle.value) slots[key.second] = target;
+  }
+  return slots;
+}
+
 void FileSystem::transferAsync(std::size_t node, FileHandle handle, util::Bytes offset,
                                util::Bytes length, double queueWeight, bool isWrite,
                                std::function<void(util::Seconds)> done) {
@@ -112,29 +130,163 @@ void FileSystem::transferAsync(std::size_t node, FileHandle handle, util::Bytes 
     file.size = std::max(file.size, offset + length);
   }
 
-  // One fluid flow per touched target; the operation completes when all do.
+  // One chunk (fluid flow) per touched target; the operation completes when
+  // every chunk resolved (possibly after retries/failovers).
   std::size_t flowsToStart = 0;
   for (const auto bytes : perTarget) {
     if (bytes > 0) ++flowsToStart;
   }
   BEESIM_ASSERT(flowsToStart > 0, "transfer touched no target");
 
-  auto pendingFlows = std::make_shared<std::size_t>(flowsToStart);
+  auto transfer = std::make_shared<TransferState>();
+  transfer->node = node;
+  transfer->handleValue = handle.value;
+  transfer->isWrite = isWrite;
+  transfer->queueWeight = queueWeight;
+  transfer->pendingChunks = flowsToStart;
+  transfer->done = std::move(done);
   for (std::size_t slot = 0; slot < perTarget.size(); ++slot) {
     if (perTarget[slot] == 0) continue;
-    const std::size_t target = file.pattern.targets()[slot];
-    if (isWrite) deployment_.mgmt().recordUsage(target, perTarget[slot]);
-    deployment_.fluid().startFlow(sim::FlowSpec{
-        .path = deployment_.writePath(node, target),
-        .bytes = perTarget[slot],
-        .queueWeight = queueWeight,
-        .rateCap = 0.0,
-        .onComplete =
-            [pendingFlows, done](const sim::FlowStats& stats) {
-              BEESIM_ASSERT(*pendingFlows > 0, "transfer completion underflow");
-              if (--*pendingFlows == 0 && done) done(stats.endTime);
-            },
-    });
+    issueChunk(transfer, slot, perTarget[slot], /*failedAt=*/-1.0);
+  }
+}
+
+void FileSystem::issueChunk(const std::shared_ptr<TransferState>& transfer,
+                            std::size_t stripeSlot, util::Bytes bytes,
+                            util::Seconds failedAt) {
+  const auto& policy = deployment_.params().faults;
+  auto& fluid = deployment_.fluid();
+
+  if (faultStats_.aborted) {
+    // The job already gave up; resolve the chunk without doing I/O.
+    if (failedAt >= 0.0) faultStats_.degradedTime += fluid.now() - failedAt;
+    finishChunk(transfer);
+    return;
+  }
+
+  const auto& file = files_[transfer->handleValue];
+  std::size_t target = file.pattern.targets()[stripeSlot];
+  if (const auto sub = substitutes_.find({transfer->handleValue, stripeSlot});
+      sub != substitutes_.end()) {
+    target = sub->second;
+  }
+
+  if (policy.mode != ClientFaultPolicy::Mode::kNone &&
+      !deployment_.mgmt().target(target).online) {
+    // The registry already reports the target dead: don't wait for a
+    // timeout.  Strict mode aborts; degraded mode reroutes immediately.
+    if (policy.mode == ClientFaultPolicy::Mode::kStrict) {
+      faultStats_.aborted = true;
+      if (failedAt >= 0.0) faultStats_.degradedTime += fluid.now() - failedAt;
+      finishChunk(transfer);
+      return;
+    }
+    failOverChunk(transfer, stripeSlot, bytes, failedAt < 0.0 ? fluid.now() : failedAt,
+                  /*rewrite=*/false);
+    return;
+  }
+
+  // Rewrites charge usage again: the blocks written before the failure are
+  // not reclaimed by the model (they leak until an offline cleanup).
+  if (transfer->isWrite) deployment_.mgmt().recordUsage(target, bytes);
+  const auto flow = fluid.startFlow(sim::FlowSpec{
+      .path = deployment_.writePath(transfer->node, target),
+      .bytes = bytes,
+      .queueWeight = transfer->queueWeight,
+      .rateCap = 0.0,
+      .onComplete =
+          [this, transfer, failedAt](const sim::FlowStats& stats) {
+            if (failedAt >= 0.0) faultStats_.degradedTime += stats.endTime - failedAt;
+            finishChunk(transfer);
+          },
+  });
+  if (policy.mode != ClientFaultPolicy::Mode::kNone) {
+    armWatchdog(transfer, stripeSlot, bytes, target, flow, failedAt);
+  }
+}
+
+void FileSystem::armWatchdog(const std::shared_ptr<TransferState>& transfer,
+                             std::size_t stripeSlot, util::Bytes bytes, std::size_t target,
+                             sim::FlowId flow, util::Seconds failedAt) {
+  auto& fluid = deployment_.fluid();
+  fluid.engine().scheduleAfter(
+      deployment_.params().faults.ioTimeout,
+      [this, transfer, stripeSlot, bytes, target, flow, failedAt] {
+        auto& fluid = deployment_.fluid();
+        if (!fluid.flowActive(flow)) return;  // chunk finished meanwhile
+        if (deployment_.mgmt().target(target).online) {
+          // Still making (possibly slow) progress on a live target.
+          armWatchdog(transfer, stripeSlot, bytes, target, flow, failedAt);
+          return;
+        }
+        // The chunk sat unfinished for a full ioTimeout and its target is
+        // registered offline: the client declares it failed.
+        fluid.cancelFlow(flow);
+        ++faultStats_.timeouts;
+        const util::Seconds detectedAt = failedAt >= 0.0 ? failedAt : fluid.now();
+        const auto& policy = deployment_.params().faults;
+        if (policy.mode == ClientFaultPolicy::Mode::kStrict) {
+          faultStats_.aborted = true;
+          faultStats_.degradedTime += fluid.now() - detectedAt;
+          finishChunk(transfer);
+          return;
+        }
+        scheduleRetry(transfer, stripeSlot, bytes, target, /*attempt=*/0, detectedAt);
+      });
+}
+
+void FileSystem::scheduleRetry(const std::shared_ptr<TransferState>& transfer,
+                               std::size_t stripeSlot, util::Bytes bytes, std::size_t target,
+                               int attempt, util::Seconds failedAt) {
+  const auto& policy = deployment_.params().faults;
+  const util::Seconds wait =
+      policy.backoffBase * std::pow(policy.backoffFactor, static_cast<double>(attempt));
+  deployment_.fluid().engine().scheduleAfter(
+      wait, [this, transfer, stripeSlot, bytes, target, attempt, failedAt] {
+        if (faultStats_.aborted) {
+          faultStats_.degradedTime += deployment_.fluid().now() - failedAt;
+          finishChunk(transfer);
+          return;
+        }
+        if (deployment_.mgmt().target(target).online) {
+          // The target came back: re-send the whole chunk to it (nothing
+          // written during the failure window is trusted).
+          ++faultStats_.retries;
+          faultStats_.bytesRewritten += bytes;
+          issueChunk(transfer, stripeSlot, bytes, failedAt);
+          return;
+        }
+        if (attempt + 1 < deployment_.params().faults.maxRetries) {
+          scheduleRetry(transfer, stripeSlot, bytes, target, attempt + 1, failedAt);
+          return;
+        }
+        failOverChunk(transfer, stripeSlot, bytes, failedAt, /*rewrite=*/true);
+      });
+}
+
+void FileSystem::failOverChunk(const std::shared_ptr<TransferState>& transfer,
+                               std::size_t stripeSlot, util::Bytes bytes,
+                               util::Seconds failedAt, bool rewrite) {
+  const auto online = deployment_.mgmt().onlineTargets();
+  if (online.empty()) {
+    // Nowhere left to put the chunk: give up like strict mode.
+    faultStats_.aborted = true;
+    if (failedAt >= 0.0) faultStats_.degradedTime += deployment_.fluid().now() - failedAt;
+    finishChunk(transfer);
+    return;
+  }
+  const auto pick = online[static_cast<std::size_t>(
+      rng_.uniformInt(0, static_cast<std::int64_t>(online.size()) - 1))];
+  substitutes_[{transfer->handleValue, stripeSlot}] = pick;
+  ++faultStats_.failovers;
+  if (rewrite) faultStats_.bytesRewritten += bytes;
+  issueChunk(transfer, stripeSlot, bytes, failedAt);
+}
+
+void FileSystem::finishChunk(const std::shared_ptr<TransferState>& transfer) {
+  BEESIM_ASSERT(transfer->pendingChunks > 0, "transfer completion underflow");
+  if (--transfer->pendingChunks == 0 && transfer->done) {
+    transfer->done(deployment_.fluid().now());
   }
 }
 

@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "beegfs/chooser.hpp"
@@ -79,16 +81,64 @@ class FileSystem {
   /// The chooser in use (inspectable by tests).
   TargetChooser& chooser() { return *chooser_; }
 
+  // -- Mid-run fault semantics (ClientFaultPolicy; see src/faults/). -------
+
+  /// Cumulative client-side failure accounting across all transfers.
+  const ClientFaultStats& faultStats() const { return faultStats_; }
+
+  /// True once a chunk failure aborted the job (strict mode, or degraded
+  /// mode with no surviving target).  Runners stop issuing new work.
+  bool faultsAborted() const { return faultStats_.aborted; }
+
+  /// Substitute target a stripe slot of `handle` failed over to, if any
+  /// (inspectable by tests; keyed by slot index within the stripe pattern).
+  std::map<std::size_t, std::size_t> degradedSlots(FileHandle handle) const;
+
  private:
+  /// Shared bookkeeping of one writeAsync/readAsync call: the operation
+  /// completes when every chunk resolved (successfully or by abort).
+  struct TransferState {
+    std::size_t node = 0;
+    std::size_t handleValue = 0;
+    bool isWrite = false;
+    double queueWeight = 0.0;
+    std::size_t pendingChunks = 0;
+    std::function<void(util::Seconds)> done;
+  };
+
   void transferAsync(std::size_t node, FileHandle handle, util::Bytes offset,
                      util::Bytes length, double queueWeight, bool isWrite,
                      std::function<void(util::Seconds)> done);
+
+  /// Issue one chunk flow.  `failedAt` < 0 marks a first attempt; >= 0 the
+  /// virtual time this chunk's failure was detected (re-issues).
+  void issueChunk(const std::shared_ptr<TransferState>& transfer, std::size_t stripeSlot,
+                  util::Bytes bytes, util::Seconds failedAt);
+  /// Client I/O timeout: re-armed while the flow runs; on an offline target
+  /// it cancels the flow and enters the retry/failover ladder.
+  void armWatchdog(const std::shared_ptr<TransferState>& transfer, std::size_t stripeSlot,
+                   util::Bytes bytes, std::size_t target, sim::FlowId flow,
+                   util::Seconds failedAt);
+  /// Exponential-backoff wait number `attempt`; retries the original target
+  /// if it recovered, else escalates and finally fails over.
+  void scheduleRetry(const std::shared_ptr<TransferState>& transfer, std::size_t stripeSlot,
+                     util::Bytes bytes, std::size_t target, int attempt,
+                     util::Seconds failedAt);
+  /// Move the chunk's slot to a surviving target (sampled from rng_).
+  /// `rewrite` charges the chunk's bytes to the rewritten counter.
+  void failOverChunk(const std::shared_ptr<TransferState>& transfer, std::size_t stripeSlot,
+                     util::Bytes bytes, util::Seconds failedAt, bool rewrite);
+  /// Mark one chunk resolved; fires the transfer's done when all are.
+  void finishChunk(const std::shared_ptr<TransferState>& transfer);
 
   Deployment& deployment_;
   util::Rng rng_;
   std::unique_ptr<TargetChooser> chooser_;
   std::map<std::string, StripeSettings> directories_;
   std::vector<FileInfo> files_;
+  ClientFaultStats faultStats_;
+  /// (file handle, stripe slot) -> substitute target after a failover.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> substitutes_;
 };
 
 }  // namespace beesim::beegfs

@@ -76,6 +76,54 @@ struct MetaParams {
   double jitterSigmaLog = 0.25;
 };
 
+/// Client behaviour when a storage target fails while chunks are in flight
+/// (mid-run fault injection; see src/faults/).  The client detects a dead
+/// target by timeout -- a chunk that has not completed after `ioTimeout`
+/// whose target the registry reports offline is considered failed.
+struct ClientFaultPolicy {
+  enum class Mode {
+    /// Legacy behaviour: no watchdogs, no detection.  A chunk stalled on a
+    /// failed target stalls forever (the run deadlocks if nothing revives
+    /// the target).  This is the default so healthy runs are bit-identical
+    /// to pre-fault-model builds.
+    kNone,
+    /// First failed chunk aborts the whole job: in-flight chunks to dead
+    /// targets are cancelled and ranks stop at their next segment boundary.
+    kStrict,
+    /// Degraded-stripe mode: a failed chunk is retried on its own target
+    /// with exponential backoff (the target may come back); after
+    /// `maxRetries` unsuccessful waits it fails over to a surviving target
+    /// and the chunk is rewritten there in full.
+    kDegraded,
+  };
+  Mode mode = Mode::kNone;
+  /// Client I/O timeout: how long a chunk may sit unfinished before the
+  /// client checks its target's registry state.
+  util::Seconds ioTimeout = 5.0;
+  /// First retry backoff; doubles (backoffFactor) per attempt.
+  util::Seconds backoffBase = 1.0;
+  double backoffFactor = 2.0;
+  /// Same-target retry attempts before failing over.
+  int maxRetries = 3;
+};
+
+/// Cumulative client-side failure accounting (one FileSystem's view).
+struct ClientFaultStats {
+  /// Chunk failures detected by watchdog timeout (target offline).
+  std::size_t timeouts = 0;
+  /// Chunks re-issued to their own target after it came back.
+  std::size_t retries = 0;
+  /// Chunks moved to a substitute target (degraded stripe).
+  std::size_t failovers = 0;
+  /// Bytes re-sent because of retries and failovers.
+  util::Bytes bytesRewritten = 0;
+  /// Summed per-chunk time between failure detection and the chunk's final
+  /// resolution (success or abort).
+  util::Seconds degradedTime = 0.0;
+  /// Strict-mode abort (or degraded mode with no surviving target).
+  bool aborted = false;
+};
+
 struct BeegfsParams {
   StripeSettings defaultStripe;           // PlaFRIM: count 4, 512 KiB
   ChooserKind chooser = ChooserKind::kRoundRobin;
@@ -98,6 +146,9 @@ struct BeegfsParams {
   /// observed for every stripe count (count 4 always (1,3), count 2 split
   /// between (1,1)/(0,2), count 6 between (3,3)/(2,4), ...).
   std::size_t rrPointerPhaseStride = 2;
+  /// Client failure semantics for mid-run target faults (default: none, the
+  /// exact legacy behaviour).
+  ClientFaultPolicy faults;
 };
 
 /// Per-run environment state (production-system mood): multiplicative

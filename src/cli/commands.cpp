@@ -7,6 +7,7 @@
 #include "core/analytic.hpp"
 #include "beegfs/deployment.hpp"
 #include "beegfs/filesystem.hpp"
+#include "faults/schedule.hpp"
 #include "harness/campaign.hpp"
 #include "sim/trace.hpp"
 #include "harness/concurrent.hpp"
@@ -118,6 +119,12 @@ int cmdRun(const Args& args, std::ostream& out) {
   const auto pattern = args.getString("pattern", "n1");
   const auto op = args.getString("op", "write");
   const auto traceFile = args.getString("trace", "");
+  const auto faultSpec = args.getString("faults", "");
+  const auto faultMode = args.getString("fault-mode", "");
+  const auto ioTimeout = args.getDouble("io-timeout", 5.0);
+  const auto mttf = args.getDouble("mttf", 0.0);
+  const auto mttr = args.getDouble("mttr", 0.0);
+  const auto faultHorizon = args.getDouble("fault-horizon", 120.0);
   const auto exec = executorOptions(args, "run");
   rejectUnknownFlags(args);
 
@@ -135,16 +142,44 @@ int cmdRun(const Args& args, std::ostream& out) {
     throw util::ConfigError("--op must be write or read");
   }
 
+  // Mid-run fault injection: explicit --faults events and/or a per-target
+  // MTTF/MTTR renewal process.  Failure schedules need a client fault
+  // policy; default to degraded-stripe mode when faults are requested.
+  if (!faultSpec.empty()) config.faults.schedule = faults::parseSchedule(faultSpec);
+  if (mttf > 0.0) {
+    faults::StochasticFaultSpec stochastic;
+    stochastic.targetMttf = mttf;
+    stochastic.targetMttr = mttr > 0.0 ? mttr : mttf / 10.0;
+    stochastic.horizon = faultHorizon;
+    config.faults.stochastic = stochastic;
+  }
+  if (faultMode == "strict") {
+    config.fs.faults.mode = beegfs::ClientFaultPolicy::Mode::kStrict;
+  } else if (faultMode == "degraded" || (faultMode.empty() && !config.faults.empty())) {
+    config.fs.faults.mode = beegfs::ClientFaultPolicy::Mode::kDegraded;
+  } else if (!faultMode.empty() && faultMode != "none") {
+    throw util::ConfigError("--fault-mode must be strict|degraded|none");
+  }
+  config.fs.faults.ioTimeout = ioTimeout;
+
   std::vector<harness::CampaignEntry> entries(1);
   entries[0].config = config;
   harness::ProtocolOptions protocol;
   protocol.repetitions = reps;
 
   std::map<std::string, std::size_t> allocationCounts;
+  beegfs::ClientFaultStats faultTotals;
+  std::size_t faultAborts = 0;
   const auto store = harness::executeCampaign(
       entries, protocol, seed,
       [&](const harness::RunRecord& record, harness::ResultRow&) {
         ++allocationCounts[core::Allocation(record.ior.targetsUsed, cluster).key()];
+        faultTotals.timeouts += record.ior.faults.timeouts;
+        faultTotals.retries += record.ior.faults.retries;
+        faultTotals.failovers += record.ior.faults.failovers;
+        faultTotals.bytesRewritten += record.ior.faults.bytesRewritten;
+        faultTotals.degradedTime += record.ior.faults.degradedTime;
+        if (record.ior.failed) ++faultAborts;
       },
       exec);
 
@@ -155,6 +190,13 @@ int cmdRun(const Args& args, std::ostream& out) {
   out << "allocations: ";
   for (const auto& [key, count] : allocationCounts) out << key << " x" << count << "  ";
   out << "\n";
+  if (!config.faults.empty()) {
+    out << "faults (totals over " << reps << " reps): timeouts=" << faultTotals.timeouts
+        << " retries=" << faultTotals.retries << " failovers=" << faultTotals.failovers
+        << " rewritten=" << util::fmt(util::toMiB(faultTotals.bytesRewritten), 1)
+        << " MiB degraded=" << util::fmt(faultTotals.degradedTime, 2)
+        << " s aborted_runs=" << faultAborts << "\n";
+  }
 
   if (!traceFile.empty()) {
     // One extra traced run (same seed as the campaign root) with the flow
@@ -324,6 +366,9 @@ std::string usage() {
          "  --progress  live status line on stderr (runs done, ETA, slowest config)\n"
          "run flags:      --ppn --stripe --total --chooser --reps --pattern n1|nn\n"
          "                --op write|read --trace FILE.jsonl\n"
+         "                --faults \"off:t3@30;on:t3@90;off:h1@60;link:h0@40=0.5\"\n"
+         "                --fault-mode strict|degraded (default degraded with --faults)\n"
+         "                --io-timeout S --mttf S --mttr S --fault-horizon S\n"
          "sweep flags:    --ppn --reps --total --chooser\n"
          "concurrent:     --apps --nodes-per-app --ppn --stripe --total --reps\n"
          "export-cluster: --out FILE\n";

@@ -1,0 +1,68 @@
+#include "faults/injector.hpp"
+
+#include "util/error.hpp"
+
+namespace beesim::faults {
+
+FaultInjector::FaultInjector(beegfs::Deployment& deployment, FaultSchedule schedule)
+    : deployment_(deployment), schedule_(std::move(schedule)) {
+  schedule_.normalize(deployment_.cluster().targetCount(),
+                      deployment_.cluster().hosts.size());
+}
+
+void FaultInjector::arm(util::Seconds origin) {
+  auto& engine = deployment_.fluid().engine();
+  BEESIM_ASSERT(origin >= engine.now(), "fault schedule origin lies in the past");
+  for (const auto& event : schedule_.events) {
+    engine.schedule(origin + event.at, [this, event] { apply(event); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  auto& mgmt = deployment_.mgmt();
+  const auto forEachTargetOnHost = [&](std::size_t host, auto&& fn) {
+    for (std::size_t t = 0; t < mgmt.targetCount(); ++t) {
+      if (mgmt.target(t).host == host) fn(t);
+    }
+  };
+
+  switch (event.kind) {
+    case FaultKind::kTargetFail:
+      mgmt.setTargetOnline(event.index, false);
+      deployment_.setTargetHealth(event.index, 0.0);
+      ++stats_.targetFailures;
+      break;
+    case FaultKind::kTargetRecover:
+      mgmt.setTargetOnline(event.index, true);
+      deployment_.setTargetHealth(event.index, 1.0);
+      ++stats_.targetRecoveries;
+      break;
+    case FaultKind::kHostFail:
+      // An OSS crash takes down its link and every OST it serves.
+      deployment_.setHostLinkHealth(event.index, 0.0);
+      forEachTargetOnHost(event.index, [&](std::size_t t) {
+        mgmt.setTargetOnline(t, false);
+        deployment_.setTargetHealth(t, 0.0);
+      });
+      ++stats_.hostFailures;
+      break;
+    case FaultKind::kHostRecover:
+      // A reboot revives the host wholesale, including targets that had
+      // failed individually beforehand.
+      deployment_.setHostLinkHealth(event.index, 1.0);
+      forEachTargetOnHost(event.index, [&](std::size_t t) {
+        mgmt.setTargetOnline(t, true);
+        deployment_.setTargetHealth(t, 1.0);
+      });
+      ++stats_.hostRecoveries;
+      break;
+    case FaultKind::kLinkDegrade:
+      deployment_.setHostLinkHealth(event.index, event.fraction);
+      ++stats_.linkDegradations;
+      break;
+  }
+  // Re-solve in-flight flows against the new capacities at the fault instant.
+  deployment_.fluid().invalidateCapacities();
+}
+
+}  // namespace beesim::faults

@@ -1,0 +1,204 @@
+#include "faults/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace beesim::faults {
+
+const char* faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTargetFail:
+      return "target-fail";
+    case FaultKind::kTargetRecover:
+      return "target-recover";
+    case FaultKind::kHostFail:
+      return "host-fail";
+    case FaultKind::kHostRecover:
+      return "host-recover";
+    case FaultKind::kLinkDegrade:
+      return "link-degrade";
+  }
+  BEESIM_ASSERT(false, "unknown fault kind");
+  return "?";  // unreachable
+}
+
+bool FaultSchedule::hasFailures() const {
+  return std::any_of(events.begin(), events.end(), [](const FaultEvent& e) {
+    return e.kind == FaultKind::kTargetFail || e.kind == FaultKind::kHostFail;
+  });
+}
+
+void FaultSchedule::normalize(std::size_t targetCount, std::size_t hostCount) {
+  for (const auto& e : events) {
+    if (e.at < 0.0) {
+      throw util::ConfigError("fault event time must be >= 0");
+    }
+    const bool targetScoped =
+        e.kind == FaultKind::kTargetFail || e.kind == FaultKind::kTargetRecover;
+    if (targetScoped && e.index >= targetCount) {
+      throw util::ConfigError("fault event target index out of range: t" +
+                              std::to_string(e.index));
+    }
+    if (!targetScoped && e.index >= hostCount) {
+      throw util::ConfigError("fault event host index out of range: h" +
+                              std::to_string(e.index));
+    }
+    if (e.kind == FaultKind::kLinkDegrade && (e.fraction <= 0.0 || e.fraction > 1.0)) {
+      throw util::ConfigError(
+          "link degradation fraction must be in (0, 1]; a zero-capacity link "
+          "stalls chunks while the target stays registered online");
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+namespace {
+
+void generateRenewal(std::vector<FaultEvent>& out, FaultKind fail, FaultKind recover,
+                     std::size_t count, util::Seconds mttf, util::Seconds mttr,
+                     util::Seconds horizon, util::Rng& rng) {
+  if (mttf <= 0.0 || mttr <= 0.0) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Alternating up/down sojourns; every entity draws from the same stream
+    // in index order so the schedule is a pure function of the rng state.
+    util::Seconds t = rng.exponential(mttf);
+    while (t < horizon) {
+      out.push_back(FaultEvent{t, fail, i, 1.0});
+      t += rng.exponential(mttr);
+      if (t >= horizon) break;  // stays down past the horizon
+      out.push_back(FaultEvent{t, recover, i, 1.0});
+      t += rng.exponential(mttf);
+    }
+  }
+}
+
+}  // namespace
+
+FaultSchedule generateSchedule(const StochasticFaultSpec& spec, std::size_t targetCount,
+                               std::size_t hostCount, util::Rng& rng) {
+  if (spec.horizon <= 0.0 &&
+      (spec.targetMttf > 0.0 || spec.hostMttf > 0.0)) {
+    throw util::ConfigError("stochastic fault spec needs a horizon > 0");
+  }
+  FaultSchedule schedule;
+  generateRenewal(schedule.events, FaultKind::kTargetFail, FaultKind::kTargetRecover,
+                  targetCount, spec.targetMttf, spec.targetMttr, spec.horizon, rng);
+  generateRenewal(schedule.events, FaultKind::kHostFail, FaultKind::kHostRecover, hostCount,
+                  spec.hostMttf, spec.hostMttr, spec.horizon, rng);
+  schedule.normalize(targetCount, hostCount);
+  return schedule;
+}
+
+namespace {
+
+[[noreturn]] void parseError(const std::string& token, const std::string& why) {
+  throw util::ConfigError("bad fault event '" + token + "': " + why +
+                          " (expected e.g. off:t3@30, on:h1@120, link:h0@40=0.5)");
+}
+
+double parseNumber(const std::string& token, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    if (pos != text.size()) parseError(token, "trailing characters after number");
+    return value;
+  } catch (const util::ConfigError&) {
+    throw;
+  } catch (const std::exception&) {
+    parseError(token, "not a number: '" + text + "'");
+  }
+}
+
+}  // namespace
+
+FaultSchedule parseSchedule(const std::string& text) {
+  FaultSchedule schedule;
+  std::string token;
+  // Accept both ';' and ',' as separators (',' is friendlier inside shells).
+  std::string normalized = text;
+  std::replace(normalized.begin(), normalized.end(), ',', ';');
+  std::istringstream stream(normalized);
+  while (std::getline(stream, token, ';')) {
+    const std::string item = util::trim(token);
+    if (item.empty()) continue;
+
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) parseError(item, "missing ':'");
+    const std::string verb = item.substr(0, colon);
+    std::string rest = item.substr(colon + 1);
+
+    double fraction = 1.0;
+    if (verb == "link") {
+      const auto eq = rest.find('=');
+      if (eq == std::string::npos) parseError(item, "link events need '=fraction'");
+      fraction = parseNumber(item, util::trim(rest.substr(eq + 1)));
+      rest = rest.substr(0, eq);
+    }
+
+    const auto at = rest.find('@');
+    if (at == std::string::npos) parseError(item, "missing '@time'");
+    const std::string entity = util::trim(rest.substr(0, at));
+    const double when = parseNumber(item, util::trim(rest.substr(at + 1)));
+
+    if (entity.size() < 2 || (entity[0] != 't' && entity[0] != 'h')) {
+      parseError(item, "entity must be tN (target) or hN (host)");
+    }
+    const bool isHost = entity[0] == 'h';
+    std::size_t index = 0;
+    try {
+      std::size_t pos = 0;
+      index = std::stoul(entity.substr(1), &pos);
+      if (pos != entity.size() - 1) throw std::invalid_argument("trailing");
+    } catch (const std::exception&) {
+      parseError(item, "bad entity index: '" + entity + "'");
+    }
+
+    FaultKind kind{};
+    if (verb == "off") {
+      kind = isHost ? FaultKind::kHostFail : FaultKind::kTargetFail;
+    } else if (verb == "on") {
+      kind = isHost ? FaultKind::kHostRecover : FaultKind::kTargetRecover;
+    } else if (verb == "link") {
+      if (!isHost) parseError(item, "link events apply to hosts (hN)");
+      kind = FaultKind::kLinkDegrade;
+    } else {
+      parseError(item, "unknown verb '" + verb + "'");
+    }
+    schedule.events.push_back(FaultEvent{when, kind, index, fraction});
+  }
+  return schedule;
+}
+
+std::string describeSchedule(const FaultSchedule& schedule) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& e : schedule.events) {
+    if (!first) out << ';';
+    first = false;
+    const char scope = (e.kind == FaultKind::kTargetFail || e.kind == FaultKind::kTargetRecover)
+                           ? 't'
+                           : 'h';
+    switch (e.kind) {
+      case FaultKind::kTargetFail:
+      case FaultKind::kHostFail:
+        out << "off:";
+        break;
+      case FaultKind::kTargetRecover:
+      case FaultKind::kHostRecover:
+        out << "on:";
+        break;
+      case FaultKind::kLinkDegrade:
+        out << "link:";
+        break;
+    }
+    out << scope << e.index << '@' << e.at;
+    if (e.kind == FaultKind::kLinkDegrade) out << '=' << e.fraction;
+  }
+  return out.str();
+}
+
+}  // namespace beesim::faults

@@ -1,0 +1,104 @@
+// Fault schedules: timed failure/recovery events executed in virtual time.
+//
+// A FaultSchedule is a list of events relative to a run's start -- storage
+// targets going offline and coming back, whole-OSS crashes, links degrading
+// to a fraction of their capacity.  Schedules are either written explicitly
+// (parseSchedule's compact grammar, used by the CLI and benches) or drawn
+// from a stochastic MTTF/MTTR renewal process (generateSchedule), always from
+// an Rng split off the campaign stream so runs stay deterministic per seed.
+// The FaultInjector (injector.hpp) executes a schedule against a Deployment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace beesim::faults {
+
+enum class FaultKind {
+  kTargetFail,    // one OST goes offline (registry + capacity -> 0)
+  kTargetRecover, // it comes back healthy
+  kHostFail,      // a whole OSS crashes: its link and every OST on it
+  kHostRecover,   // the OSS reboots: link and all its OSTs healthy again
+  kLinkDegrade,   // a server link drops to `fraction` of capacity (1 = repaired)
+};
+
+const char* faultKindName(FaultKind kind);
+
+struct FaultEvent {
+  /// Virtual time relative to the run's start.
+  util::Seconds at = 0.0;
+  FaultKind kind = FaultKind::kTargetFail;
+  /// Flat target index (kTarget*) or storage-host index (kHost*, kLinkDegrade).
+  std::size_t index = 0;
+  /// kLinkDegrade only: capacity multiplier in (0, 1].  Must stay > 0 -- a
+  /// dead-but-online link would stall chunks without the watchdog ever
+  /// seeing an offline target.
+  double fraction = 1.0;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// True if any event can strand in-flight chunks (target/host failures).
+  /// Such schedules require a ClientFaultPolicy mode other than kNone.
+  bool hasFailures() const;
+
+  /// Stable-sort events by time and validate them against a deployment size
+  /// (index bounds, link fractions in (0, 1], non-negative times).  Throws
+  /// util::ConfigError on invalid events.
+  void normalize(std::size_t targetCount, std::size_t hostCount);
+};
+
+/// Stochastic fault generator: each target/host alternates up and down with
+/// exponential sojourn times (mean MTTF up, mean MTTR down), the classic
+/// renewal availability model.  A mean of 0 disables that failure class.
+struct StochasticFaultSpec {
+  util::Seconds targetMttf = 0.0;
+  util::Seconds targetMttr = 0.0;
+  util::Seconds hostMttf = 0.0;
+  util::Seconds hostMttr = 0.0;
+  /// Events are generated in [0, horizon).
+  util::Seconds horizon = 0.0;
+};
+
+/// Draw a schedule from `spec` for a deployment with `targetCount` targets
+/// and `hostCount` hosts.  Deterministic given the rng state; the result is
+/// already normalized.
+FaultSchedule generateSchedule(const StochasticFaultSpec& spec, std::size_t targetCount,
+                               std::size_t hostCount, util::Rng& rng);
+
+/// Parse a compact schedule, events separated by ';' or ','.  Grammar:
+///
+///   off:t3@30        target 3 fails at t=30s
+///   on:t3@90         target 3 recovers at t=90s
+///   off:h1@60        host (OSS) 1 crashes at t=60s
+///   on:h1@120        host 1 reboots
+///   link:h0@40=0.5   host 0's link drops to 50% capacity at t=40s
+///   link:h0@80=1     ... and is repaired at t=80s
+///
+/// Whitespace around tokens is ignored.  Throws util::ConfigError on syntax
+/// errors.  Bounds are checked later by FaultSchedule::normalize.
+FaultSchedule parseSchedule(const std::string& text);
+
+/// Render a schedule in the parseSchedule grammar (diagnostics; round-trips
+/// through parseSchedule).
+std::string describeSchedule(const FaultSchedule& schedule);
+
+/// A run's complete fault configuration: explicit events plus an optional
+/// stochastic generator whose events get appended (from a dedicated rng
+/// split) before the run starts.
+struct FaultPlan {
+  FaultSchedule schedule;
+  std::optional<StochasticFaultSpec> stochastic;
+
+  bool empty() const { return schedule.empty() && !stochastic.has_value(); }
+};
+
+}  // namespace beesim::faults

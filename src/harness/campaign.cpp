@@ -41,6 +41,17 @@ ResultRow makeRow(const CampaignEntry& entry, const PlannedRun& planned,
   row.metrics["meta_seconds"] = record.ior.metaTime;
   row.metrics["env_network"] = record.environment.network;
   row.metrics["env_storage"] = record.environment.storage;
+  if (record.faultsActive) {
+    // Only fault-armed runs carry these columns, so campaigns with an empty
+    // plan keep emitting byte-identical CSVs to pre-fault-model builds.
+    row.metrics["fault_events"] = static_cast<double>(record.injected.total());
+    row.metrics["fault_timeouts"] = static_cast<double>(record.ior.faults.timeouts);
+    row.metrics["fault_retries"] = static_cast<double>(record.ior.faults.retries);
+    row.metrics["fault_failovers"] = static_cast<double>(record.ior.faults.failovers);
+    row.metrics["fault_rewritten_mib"] = util::toMiB(record.ior.faults.bytesRewritten);
+    row.metrics["fault_degraded_seconds"] = record.ior.faults.degradedTime;
+    row.metrics["fault_aborted"] = record.ior.failed ? 1.0 : 0.0;
+  }
   if (annotate) annotate(record, row);
   return row;
 }

@@ -1,5 +1,8 @@
 #include "harness/run.hpp"
 
+#include <optional>
+#include <utility>
+
 #include "beegfs/deployment.hpp"
 #include "beegfs/filesystem.hpp"
 #include "sim/fluid.hpp"
@@ -23,6 +26,35 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
   record.seed = seed;
   record.environment = env;
 
+  // Fault plan: materialize the schedule (stochastic events draw from a
+  // dedicated split so the plan is a pure function of this run's seed, which
+  // keeps parallel campaign executors row-identical to serial ones) and arm
+  // the injector *before* launching the job -- the engine's FIFO tie-break
+  // then applies a t=0 fault ahead of the job's first metadata operation.
+  // The empty-plan path takes no splits, preserving legacy rng streams.
+  std::optional<faults::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    faults::FaultSchedule schedule = config.faults.schedule;
+    if (config.faults.stochastic) {
+      util::Rng faultRng = rng.split();
+      const auto generated =
+          faults::generateSchedule(*config.faults.stochastic, config.cluster.targetCount(),
+                                   config.cluster.hosts.size(), faultRng);
+      schedule.events.insert(schedule.events.end(), generated.events.begin(),
+                             generated.events.end());
+    }
+    schedule.normalize(config.cluster.targetCount(), config.cluster.hosts.size());
+    if (schedule.hasFailures() &&
+        config.fs.faults.mode == beegfs::ClientFaultPolicy::Mode::kNone) {
+      throw util::ConfigError(
+          "fault schedule contains target/host failures but no client fault "
+          "policy is set (BeegfsParams::faults.mode)");
+    }
+    injector.emplace(deployment, std::move(schedule));
+    injector->arm(config.startAt);
+    record.faultsActive = true;
+  }
+
   bool finished = false;
   ior::launchIor(
       fs, config.job, config.ior, config.startAt,
@@ -33,6 +65,7 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
       config.pinnedTargets);
   fluid.run();
   BEESIM_ASSERT(finished, "benchmark run did not complete");
+  if (injector) record.injected = injector->stats();
   return record;
 }
 

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "beegfs/params.hpp"
+#include "faults/injector.hpp"
+#include "faults/schedule.hpp"
 #include "ior/options.hpp"
 #include "ior/runner.hpp"
 #include "topology/cluster.hpp"
@@ -37,12 +39,22 @@ struct RunConfig {
   /// Virtual system time at which the run starts (the protocol spaces runs
   /// out in time so device-noise epochs differ; see protocol.hpp).
   util::Seconds startAt = 0.0;
+  /// Mid-run fault injection: explicit events (relative to startAt) and/or a
+  /// stochastic MTTF/MTTR generator.  An empty plan leaves the run bitwise
+  /// identical to pre-fault-model builds (no extra rng splits, no watchdogs).
+  /// Schedules with target/host failures require fs.faults.mode != kNone.
+  faults::FaultPlan faults;
 };
 
 struct RunRecord {
   ior::IorResult ior;
   beegfs::EnvironmentFactors environment;
   std::uint64_t seed = 0;
+  /// True when this run had a fault plan armed (campaign rows then carry the
+  /// fault_* metric columns).
+  bool faultsActive = false;
+  /// What the injector fired (zeroed when !faultsActive).
+  faults::InjectorStats injected;
 };
 
 /// Execute one run to completion.  Deterministic given (config, seed).

@@ -47,19 +47,40 @@ struct RunState {
   std::vector<beegfs::FileHandle> rankFile;
   /// Queue weight per flow, per rank.
   std::vector<double> rankQueueWeight;
+  /// Fault-counter snapshot at launch; the result reports the delta.
+  beegfs::ClientFaultStats faultBaseline;
 };
+
+/// Counter delta `now` - `base` (aborted is the file system's current state:
+/// an abort anywhere kills every job sharing the mount).
+beegfs::ClientFaultStats faultDelta(const beegfs::ClientFaultStats& now,
+                                    const beegfs::ClientFaultStats& base) {
+  beegfs::ClientFaultStats d;
+  d.timeouts = now.timeouts - base.timeouts;
+  d.retries = now.retries - base.retries;
+  d.failovers = now.failovers - base.failovers;
+  d.bytesRewritten = now.bytesRewritten - base.bytesRewritten;
+  d.degradedTime = now.degradedTime - base.degradedTime;
+  d.aborted = now.aborted;
+  return d;
+}
 
 /// Issue segment `segment` of `rank`, chaining to the next segment on
 /// completion (IOR writes a rank's segments sequentially).
 void issueSegment(const std::shared_ptr<RunState>& state, int rank, int segment) {
   const auto& options = state->options;
-  if (segment >= options.segments) {
+  // A fault-policy abort stops ranks at their next segment boundary.
+  if (segment >= options.segments || state->fs->faultsAborted()) {
     // Rank done.
     state->result.rankEnd[rank] = state->fs->deployment().fluid().now();
     if (--state->ranksRemaining == 0) {
       auto& result = state->result;
       result.end = state->fs->deployment().fluid().now();
-      result.bandwidth = util::bandwidth(result.totalBytes, result.end - result.start);
+      result.faults = faultDelta(state->fs->faultStats(), state->faultBaseline);
+      result.failed = result.faults.aborted;
+      result.bandwidth =
+          result.failed ? 0.0
+                        : util::bandwidth(result.totalBytes, result.end - result.start);
       if (state->done) state->done(result);
     }
     return;
@@ -108,6 +129,7 @@ void launchIor(beegfs::FileSystem& fs, const IorJob& job, const IorOptions& opti
     const auto& options = state->options;
 
     state->result.start = deployment.fluid().now();
+    state->faultBaseline = fs.faultStats();
 
     // Metadata phase: rank 0 creates the file(s); then every rank opens.
     const auto chunk = fs.settingsFor(options.testFile).chunkSize;

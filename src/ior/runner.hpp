@@ -50,6 +50,14 @@ struct IorResult {
   std::vector<std::size_t> targetsUsed;
   /// Per-rank completion times (size == ranks).
   std::vector<util::Seconds> rankEnd;
+  /// Client failure accounting attributable to this run (delta of the file
+  /// system's counters between launch and completion).  All-zero for healthy
+  /// runs or when no fault policy is armed.
+  beegfs::ClientFaultStats faults;
+  /// True when the run was aborted by the fault policy (strict mode, or
+  /// degraded mode with no surviving target).  `bandwidth` is reported as 0
+  /// for failed runs -- the planned bytes never fully landed.
+  bool failed = false;
 };
 
 /// Launch an IOR run at virtual time `startAt`; `done` fires when the last

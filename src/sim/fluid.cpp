@@ -329,6 +329,48 @@ util::MiBps FluidSimulator::flowRate(FlowId id) const {
   return slot == kNone ? 0.0 : flowRate_[slot];
 }
 
+bool FluidSimulator::flowActive(FlowId id) const { return idMap_.find(id.value) != kNone; }
+
+std::optional<util::Bytes> FluidSimulator::cancelFlow(FlowId id) {
+  const auto slot = idMap_.find(id.value);
+  if (slot == kNone) return std::nullopt;
+  const SimTime t = engine_.now();
+  const auto root = findRoot(adjacencyArena_[pathOffset_[slot]]);
+  advanceComponent(root, t);
+
+  // Unlink the slot from the component's intrusive flow list.
+  std::uint32_t prev = kNone;
+  std::uint32_t cur = compHead_[root];
+  while (cur != slot) {
+    BEESIM_ASSERT(cur != kNone, "cancelled flow missing from its component list");
+    prev = cur;
+    cur = flowNext_[cur];
+  }
+  if (prev == kNone) {
+    compHead_[root] = flowNext_[slot];
+  } else {
+    flowNext_[prev] = flowNext_[slot];
+  }
+  if (compTail_[root] == slot) compTail_[root] = prev;
+  --compFlowCount_[root];
+
+  const double remainingMiB = std::max(0.0, flowRemaining_[slot]);
+  const auto remaining = static_cast<util::Bytes>(
+      std::min<double>(std::ceil(remainingMiB * static_cast<double>(util::kMiB)),
+                       static_cast<double>(flowBytes_[slot])));
+  if (observer_ != nullptr) {
+    observer_->onFlowCancelled(FlowStats{id, flowStart_[slot], t, remaining});
+  }
+
+  removeFlowLoad(slot);
+  idMap_.erase(id.value);
+  --activeCount_;
+  freeFlowSlot(slot);
+  markDirty(root);
+  scheduleResolve();
+  return remaining;
+}
+
 void FluidSimulator::invalidateCapacities() {
   pendingAllDirty_ = true;
   scheduleResolve();

@@ -125,6 +125,11 @@ class FluidObserver {
 
   /// A flow finished.
   virtual void onFlowCompleted(const FlowStats& stats) = 0;
+
+  /// A flow was cancelled before finishing (stats.bytes holds the bytes that
+  /// were *not* transferred).  Default no-op so existing observers are
+  /// unaffected.
+  virtual void onFlowCancelled(const FlowStats& stats) { (void)stats; }
 };
 
 class FluidSimulator {
@@ -152,6 +157,17 @@ class FluidSimulator {
 
   /// Current max-min rate of an active flow (0 if finished/unknown).
   util::MiBps flowRate(FlowId id) const;
+
+  /// Whether a flow is still in the system (started and not yet finished or
+  /// cancelled).  Stale ids are safely reported as inactive.
+  bool flowActive(FlowId id) const;
+
+  /// Cancel an active flow: progress is banked up to now(), the flow leaves
+  /// the system and its onComplete callback is dropped (never invoked).
+  /// Returns the bytes that had not been transferred yet, or std::nullopt if
+  /// the id is unknown or the flow already finished.  The client failure
+  /// semantics use this to abort chunks stalled on a failed target.
+  std::optional<util::Bytes> cancelFlow(FlowId id);
 
   /// Number of unfinished flows.
   std::size_t activeFlows() const { return activeCount_; }

@@ -8,11 +8,12 @@
 
 namespace beesim::stats {
 
-double quantile(std::span<const double> values, double q) {
-  BEESIM_ASSERT(!values.empty(), "quantile of empty sample");
-  BEESIM_ASSERT(q >= 0.0 && q <= 1.0, "quantile fraction must be in [0, 1]");
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
+namespace {
+
+/// Quantile over an already-sorted sample (R type-7).  summarize/boxPlot
+/// need three quantiles each; sorting once and reusing it turns their
+/// O(3 n log n) into O(n log n), which matters for campaign-sized samples.
+double quantileSorted(std::span<const double> sorted, double q) {
   if (sorted.size() == 1) return sorted.front();
   const double h = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(h));
@@ -21,42 +22,55 @@ double quantile(std::span<const double> values, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+std::vector<double> sortedCopy(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+double quantile(std::span<const double> values, double q) {
+  BEESIM_ASSERT(!values.empty(), "quantile of empty sample");
+  BEESIM_ASSERT(q >= 0.0 && q <= 1.0, "quantile fraction must be in [0, 1]");
+  return quantileSorted(sortedCopy(values), q);
+}
+
 Summary summarize(std::span<const double> values) {
   BEESIM_ASSERT(!values.empty(), "summary of empty sample");
   Summary s;
   s.n = values.size();
   double sum = 0.0;
-  s.min = values.front();
-  s.max = values.front();
-  for (const double v : values) {
-    sum += v;
-    s.min = std::min(s.min, v);
-    s.max = std::max(s.max, v);
-  }
+  for (const double v : values) sum += v;
   s.mean = sum / static_cast<double>(s.n);
   if (s.n >= 2) {
     double ss = 0.0;
     for (const double v : values) ss += (v - s.mean) * (v - s.mean);
     s.sd = std::sqrt(ss / static_cast<double>(s.n - 1));
   }
-  s.median = quantile(values, 0.5);
-  s.q1 = quantile(values, 0.25);
-  s.q3 = quantile(values, 0.75);
+  const auto sorted = sortedCopy(values);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantileSorted(sorted, 0.5);
+  s.q1 = quantileSorted(sorted, 0.25);
+  s.q3 = quantileSorted(sorted, 0.75);
   return s;
 }
 
 std::string Summary::describe(int decimals) const {
   return "n=" + std::to_string(n) + " mean=" + util::fmt(mean, decimals) +
          " sd=" + util::fmt(sd, decimals) + " min=" + util::fmt(min, decimals) +
-         " med=" + util::fmt(median, decimals) + " max=" + util::fmt(max, decimals);
+         " q1=" + util::fmt(q1, decimals) + " med=" + util::fmt(median, decimals) +
+         " q3=" + util::fmt(q3, decimals) + " max=" + util::fmt(max, decimals);
 }
 
 BoxPlot boxPlot(std::span<const double> values) {
   BEESIM_ASSERT(!values.empty(), "box plot of empty sample");
   BoxPlot box;
-  box.q1 = quantile(values, 0.25);
-  box.median = quantile(values, 0.5);
-  box.q3 = quantile(values, 0.75);
+  const auto sorted = sortedCopy(values);
+  box.q1 = quantileSorted(sorted, 0.25);
+  box.median = quantileSorted(sorted, 0.5);
+  box.q3 = quantileSorted(sorted, 0.75);
   const double iqr = box.q3 - box.q1;
   const double lowFence = box.q1 - 1.5 * iqr;
   const double highFence = box.q3 + 1.5 * iqr;
@@ -64,7 +78,7 @@ BoxPlot boxPlot(std::span<const double> values) {
   box.whiskerLow = box.q1;
   box.whiskerHigh = box.q3;
   bool any = false;
-  for (const double v : values) {
+  for (const double v : sorted) {
     if (v >= lowFence && v <= highFence) {
       if (!any) {
         box.whiskerLow = box.whiskerHigh = v;
@@ -74,10 +88,9 @@ BoxPlot boxPlot(std::span<const double> values) {
         box.whiskerHigh = std::max(box.whiskerHigh, v);
       }
     } else {
-      box.outliers.push_back(v);
+      box.outliers.push_back(v);  // already in ascending order
     }
   }
-  std::sort(box.outliers.begin(), box.outliers.end());
   return box;
 }
 

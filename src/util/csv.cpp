@@ -93,21 +93,37 @@ std::vector<std::string> splitRecord(const std::string& line) {
 }  // namespace
 
 CsvData parseCsv(const std::string& text) {
+  // Split the input into logical records first: a newline inside a quoted
+  // field is data, not a record boundary (RFC 4180).  Naively splitting on
+  // '\n' would tear such records apart -- exactly what quoted fields written
+  // by CsvWriter::escape contain after a round trip.
   CsvData data;
-  std::istringstream in(text);
-  std::string line;
   bool first = true;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    auto fields = splitRecord(line);
-    if (first) {
-      data.header = std::move(fields);
-      first = false;
-    } else {
-      data.rows.push_back(std::move(fields));
+  std::string record;
+  bool inQuotes = false;
+  const auto flush = [&] {
+    if (!record.empty() && record.back() == '\r') record.pop_back();
+    if (!record.empty()) {
+      auto fields = splitRecord(record);
+      if (first) {
+        data.header = std::move(fields);
+        first = false;
+      } else {
+        data.rows.push_back(std::move(fields));
+      }
     }
+    record.clear();
+  };
+  for (const char c : text) {
+    if (c == '\n' && !inQuotes) {
+      flush();
+      continue;
+    }
+    if (c == '"') inQuotes = !inQuotes;
+    record += c;
   }
+  if (inQuotes) throw IoError("CSV text ends inside a quoted field");
+  flush();
   return data;
 }
 

@@ -92,5 +92,46 @@ TEST(CsvEscape, OnlyQuotesWhenNeeded) {
   EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
 }
 
+TEST(CsvParse, QuotedEmbeddedNewlineIsOneRecord) {
+  // RFC 4180: a newline inside a quoted field is field data, not a record
+  // boundary.  A line-based parser would tear this into two records.
+  const auto data = parseCsv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_EQ(data.rows.size(), 1u);
+  EXPECT_EQ(data.rows[0][0], "line1\nline2");
+  EXPECT_EQ(data.rows[0][1], "x");
+}
+
+TEST(CsvParse, QuotedCrLfPreserved) {
+  const auto data = parseCsv("a\r\n\"x\r\ny\"\r\n");
+  ASSERT_EQ(data.rows.size(), 1u);
+  EXPECT_EQ(data.rows[0][0], "x\r\ny");
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parseCsv("a\n\"unclosed\n"), IoError);
+}
+
+TEST_F(CsvTest, WriterReaderRoundTripsEveryEscapeClass) {
+  // Writer -> reader round trip across all characters escape() handles,
+  // including the embedded-newline case the record-splitting bug lost.
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "with,comma", "with\"quote"},
+      {"multi\nline", "cr\r\nlf", "trailing\n"},
+      {"", "\"\"", ",\n\","},
+  };
+  const auto path = tmpFile();
+  {
+    CsvWriter writer(path, {"c0", "c1", "c2"});
+    for (const auto& row : rows) writer.writeRow(row);
+  }
+  const auto data = readCsv(path);
+  ASSERT_EQ(data.rows.size(), rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      EXPECT_EQ(data.rows[r][c], rows[r][c]) << "row " << r << " col " << c;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace beesim::util

@@ -356,5 +356,75 @@ TEST(Fluid, FlowRateStaysConsistentAcrossCompletions) {
   for (const auto id : ids) EXPECT_DOUBLE_EQ(fluid.flowRate(id), 0.0);
 }
 
+TEST(FluidCancel, CancelledFlowReleasesCapacityToSurvivor) {
+  FluidSimulator fluid;
+  const auto link = addLink(fluid, "link", 100.0);
+  bool cancelledCompleted = false;
+  FlowStats survivorStats;
+  const auto victim =
+      fluid.startFlow(FlowSpec{.path = {link},
+                               .bytes = 1_GiB,
+                               .queueWeight = 1.0,
+                               .rateCap = 0.0,
+                               .onComplete = [&](const FlowStats&) { cancelledCompleted = true; }});
+  fluid.startFlow(FlowSpec{.path = {link},
+                           .bytes = 400_MiB,
+                           .queueWeight = 1.0,
+                           .rateCap = 0.0,
+                           .onComplete = [&](const FlowStats& s) { survivorStats = s; }});
+  fluid.engine().scheduleAfter(2.0, [&] {
+    EXPECT_TRUE(fluid.flowActive(victim));
+    // 2s at 50 MiB/s: 100 MiB of the victim's 1024 are gone.
+    const auto remaining = fluid.cancelFlow(victim);
+    ASSERT_TRUE(remaining.has_value());
+    EXPECT_NEAR(static_cast<double>(*remaining) / static_cast<double>(1_MiB), 924.0, 1.0);
+    EXPECT_FALSE(fluid.flowActive(victim));
+  });
+  fluid.run();
+  EXPECT_FALSE(cancelledCompleted);  // onComplete must not fire for a cancel
+  // Survivor: 100 MiB at 50 MiB/s (shared), then 300 MiB at 100 MiB/s.
+  EXPECT_NEAR(survivorStats.endTime, 2.0 + 3.0, 1e-6);
+}
+
+TEST(FluidCancel, CancelUnknownOrFinishedFlowReturnsNullopt) {
+  FluidSimulator fluid;
+  const auto link = addLink(fluid, "link", 100.0);
+  const auto id = fluid.startFlow(FlowSpec{.path = {link},
+                                           .bytes = 100_MiB,
+                                           .queueWeight = 1.0,
+                                           .rateCap = 0.0,
+                                           .onComplete = nullptr});
+  fluid.run();
+  EXPECT_FALSE(fluid.flowActive(id));
+  EXPECT_FALSE(fluid.cancelFlow(id).has_value());
+}
+
+TEST(FluidCancel, ObserverSeesCancellationWithRemainingBytes) {
+  struct CancelObserver : FluidObserver {
+    std::vector<FlowStats> cancelled;
+    void onFlowStarted(FlowId, std::span<const ResourceIndex>, util::Bytes,
+                       SimTime) override {}
+    void onRatesSolved(SimTime, std::span<const FlowId>, std::span<const util::MiBps>,
+                       std::size_t) override {}
+    void onFlowCompleted(const FlowStats&) override {}
+    void onFlowCancelled(const FlowStats& stats) override { cancelled.push_back(stats); }
+  };
+  FluidSimulator fluid;
+  CancelObserver observer;
+  fluid.setObserver(&observer);
+  const auto link = addLink(fluid, "link", 100.0);
+  const auto id = fluid.startFlow(FlowSpec{.path = {link},
+                                           .bytes = 500_MiB,
+                                           .queueWeight = 1.0,
+                                           .rateCap = 0.0,
+                                           .onComplete = nullptr});
+  fluid.engine().scheduleAfter(1.0, [&] { fluid.cancelFlow(id); });
+  fluid.run();
+  ASSERT_EQ(observer.cancelled.size(), 1u);
+  EXPECT_EQ(observer.cancelled[0].id.value, id.value);
+  EXPECT_NEAR(static_cast<double>(observer.cancelled[0].bytes) / static_cast<double>(1_MiB),
+              400.0, 1.0);
+}
+
 }  // namespace
 }  // namespace beesim::sim

@@ -54,11 +54,26 @@ void* countingAlloc(std::size_t size) {
 
 void* operator new(std::size_t size) { return countingAlloc(size); }
 void* operator new[](std::size_t size) { return countingAlloc(size); }
+// The nothrow forms must be replaced alongside the throwing ones: libstdc++'s
+// std::get_temporary_buffer (std::stable_sort) allocates through nothrow new
+// but releases through plain operator delete, so a partial replacement pairs
+// the default allocator with std::free.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (gAllocProbeArmed.load(std::memory_order_relaxed)) {
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
 
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 #pragma GCC diagnostic pop
 
