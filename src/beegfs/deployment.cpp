@@ -75,6 +75,18 @@ Deployment::Deployment(sim::FluidSimulator& fluid, topo::ClusterConfig cluster,
     }));
   }
 
+  // -- Buddy-mirror groups (registry side). -------------------------------
+  if (params_.mirror.enabled) {
+    auto pairs = params_.mirror.groups.empty() ? defaultMirrorPairs(cluster_)
+                                               : params_.mirror.groups;
+    if (pairs.empty()) {
+      throw util::ConfigError("storage mirroring needs at least two storage hosts");
+    }
+    for (const auto& [primary, secondary] : pairs) {
+      mgmt_.registerMirrorGroup(primary, secondary);
+    }
+  }
+
   // -- Storage hosts: server NIC, OSS service cap, OSTs. ------------------
   targetHealth_.assign(cluster_.targetCount(), 1.0);
   hostLinkHealth_.assign(cluster_.hosts.size(), 1.0);
@@ -182,6 +194,25 @@ std::vector<sim::ResourceIndex> Deployment::writePath(std::size_t node,
   path.push_back(serverNicRes_[host]);
   if (ossRes_[host]) path.push_back(*ossRes_[host]);
   path.push_back(ostRes_[flatTarget]);
+  return path;
+}
+
+std::vector<sim::ResourceIndex> Deployment::replicaPath(std::size_t fromTarget,
+                                                        std::size_t toTarget) const {
+  BEESIM_ASSERT(fromTarget < ostRes_.size(), "unknown storage target");
+  BEESIM_ASSERT(toTarget < ostRes_.size(), "unknown storage target");
+  const auto [fromHost, fromIdx] = cluster_.targetLocation(fromTarget);
+  const auto [toHost, toIdx] = cluster_.targetLocation(toTarget);
+  (void)fromIdx;
+  (void)toIdx;
+  BEESIM_ASSERT(fromHost != toHost, "replica path within one host");
+
+  std::vector<sim::ResourceIndex> path;
+  path.reserve(4);
+  if (backbone_) path.push_back(*backbone_);
+  path.push_back(serverNicRes_[toHost]);
+  if (ossRes_[toHost]) path.push_back(*ossRes_[toHost]);
+  path.push_back(ostRes_[toTarget]);
   return path;
 }
 

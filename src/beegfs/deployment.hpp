@@ -48,6 +48,14 @@ class Deployment {
   /// Resource path a write from `node` to `flatTarget` crosses.
   std::vector<sim::ResourceIndex> writePath(std::size_t node, std::size_t flatTarget) const;
 
+  /// Resource path of a server-side forward from `fromTarget`'s host to
+  /// `toTarget` (mirror replication and background resync).  Server NICs are
+  /// full duplex: the transmit direction on the source host does not contend
+  /// with the client traffic it receives, so the forward leg only crosses
+  /// the backbone and the *receiving* host's NIC/OSS/OST.
+  std::vector<sim::ResourceIndex> replicaPath(std::size_t fromTarget,
+                                              std::size_t toTarget) const;
+
   // -- Client-state hooks used by the IOR runner. ------------------------
 
   /// Declare how many application processes run on `node` (affects the

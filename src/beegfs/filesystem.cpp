@@ -19,6 +19,19 @@ FileSystem::FileSystem(Deployment& deployment, util::Rng chooserRng)
   if (auto* rr = dynamic_cast<RoundRobinChooser*>(chooser_.get())) {
     rr->randomizePhase(rng_, deployment.params().rrPointerPhaseStride);
   }
+  if (const std::size_t groups = deployment.mgmt().mirrorGroupCount(); groups > 0) {
+    inflightMirror_.resize(groups);
+    resync_.assign(groups, sim::FlowId{});
+    // Mirror failover is mgmtd-driven: the registry flip *is* the
+    // switchover signal, so mirrored chunks need no client watchdog.
+    deployment.mgmt().addTargetStateListener([this](std::size_t target, bool online) {
+      if (online) {
+        onMirrorTargetOnline(target);
+      } else {
+        onMirrorTargetOffline(target);
+      }
+    });
+  }
 }
 
 void FileSystem::mkdir(const std::string& path, const StripeSettings& settings) {
@@ -49,6 +62,57 @@ FileHandle FileSystem::create(const std::string& path) {
   BEESIM_ASSERT(!path.empty() && path.front() == '/', "file paths must be absolute");
   const auto settings = settingsFor(path);
   const auto& cluster = deployment_.cluster();
+
+  if (settings.mirror) {
+    const auto& mgmt = deployment_.mgmt();
+    if (mgmt.mirrorGroupCount() == 0) {
+      throw util::ConfigError("mirrored striping requires registered mirror groups");
+    }
+    // Stripe over buddy-mirror groups: map the chooser's picks onto distinct
+    // usable groups (consistent copy reachable), then anchor each stripe
+    // slot at the group's *current* primary.
+    const auto usable = [&](std::size_t gid) {
+      const auto& group = mgmt.mirrorGroup(gid);
+      return group.state != MirrorState::kBad && mgmt.target(group.primary).online;
+    };
+    std::vector<std::size_t> usableGroups;
+    for (std::size_t gid = 0; gid < mgmt.mirrorGroupCount(); ++gid) {
+      if (usable(gid)) usableGroups.push_back(gid);
+    }
+    if (usableGroups.empty()) throw util::ConfigError("no usable mirror groups");
+    const std::size_t count =
+        std::min<std::size_t>(settings.stripeCount, usableGroups.size());
+    const auto picks = chooser_->choose(
+        std::min<std::size_t>(count, cluster.targetCount()), cluster, rng_);
+    std::vector<std::size_t> groups;
+    for (const auto t : picks) {
+      const auto gid = mgmt.mirrorGroupOf(t);
+      if (gid && usable(*gid) &&
+          std::find(groups.begin(), groups.end(), *gid) == groups.end()) {
+        groups.push_back(*gid);
+      }
+    }
+    // Fill up with random usable groups the picks did not cover (same
+    // repair idiom as the offline-target path below).
+    std::vector<std::size_t> candidates;
+    for (const auto gid : usableGroups) {
+      if (std::find(groups.begin(), groups.end(), gid) == groups.end()) {
+        candidates.push_back(gid);
+      }
+    }
+    while (groups.size() < count && !candidates.empty()) {
+      const auto pick = static_cast<std::size_t>(
+          rng_.uniformInt(0, static_cast<std::int64_t>(candidates.size()) - 1));
+      groups.push_back(candidates[pick]);
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    std::vector<std::size_t> targets;
+    targets.reserve(groups.size());
+    for (const auto gid : groups) targets.push_back(mgmt.mirrorGroup(gid).primary);
+    files_.push_back(FileInfo{path, StripePattern(std::move(targets), settings.chunkSize),
+                              0, /*mirrored=*/true});
+    return FileHandle{files_.size() - 1};
+  }
 
   const auto online = deployment_.mgmt().onlineTargets();
   if (online.empty()) throw util::ConfigError("no online storage targets");
@@ -92,7 +156,10 @@ FileHandle FileSystem::createPinned(const std::string& path, std::vector<std::si
   for (const auto t : targets) {
     BEESIM_ASSERT(t < deployment_.cluster().targetCount(), "pinned target out of range");
   }
-  files_.push_back(FileInfo{path, StripePattern(std::move(targets), chunkSize), 0});
+  const bool mirrored =
+      settingsFor(path).mirror && deployment_.mgmt().mirrorGroupCount() > 0;
+  files_.push_back(
+      FileInfo{path, StripePattern(std::move(targets), chunkSize), 0, mirrored});
   return FileHandle{files_.size() - 1};
 }
 
@@ -169,6 +236,14 @@ void FileSystem::issueChunk(const std::shared_ptr<TransferState>& transfer,
   if (const auto sub = substitutes_.find({transfer->handleValue, stripeSlot});
       sub != substitutes_.end()) {
     target = sub->second;
+  }
+
+  if (file.mirrored) {
+    if (const auto gid = deployment_.mgmt().mirrorGroupOf(target)) {
+      issueMirroredChunk(transfer, stripeSlot, bytes, *gid, failedAt);
+      return;
+    }
+    // A substitute outside any group (odd host counts): plain chunk below.
   }
 
   if (policy.mode != ClientFaultPolicy::Mode::kNone &&
@@ -288,6 +363,286 @@ void FileSystem::finishChunk(const std::shared_ptr<TransferState>& transfer) {
   if (--transfer->pendingChunks == 0 && transfer->done) {
     transfer->done(deployment_.fluid().now());
   }
+}
+
+// -- Buddy mirroring. --------------------------------------------------------
+
+bool FileSystem::resyncActive(std::size_t id) const {
+  BEESIM_ASSERT(id < resync_.size(), "unknown mirror group");
+  return resync_[id].value != 0;
+}
+
+void FileSystem::issueMirroredChunk(const std::shared_ptr<TransferState>& transfer,
+                                    std::size_t stripeSlot, util::Bytes bytes,
+                                    std::size_t group, util::Seconds failedAt) {
+  auto& mgmt = deployment_.mgmt();
+  auto& fluid = deployment_.fluid();
+  const auto& policy = deployment_.params().faults;
+  const auto& entry = mgmt.mirrorGroup(group);
+
+  if (entry.state == MirrorState::kBad || !mgmt.target(entry.primary).online) {
+    // No consistent copy reachable through this group: fall back to the
+    // plain degraded-stripe ladder (the substitute may land in another
+    // live group, which is fine -- it can't loop back into this one while
+    // both members are down).
+    if (policy.mode == ClientFaultPolicy::Mode::kStrict) {
+      faultStats_.aborted = true;
+      if (failedAt >= 0.0) faultStats_.degradedTime += fluid.now() - failedAt;
+      finishChunk(transfer);
+      return;
+    }
+    failOverChunk(transfer, stripeSlot, bytes, failedAt < 0.0 ? fluid.now() : failedAt,
+                  /*rewrite=*/true);
+    return;
+  }
+
+  // New writes replicate whenever the secondary is reachable -- also while
+  // the group needs resync: the primary forwards fresh chunks and only the
+  // stale delta (the tracked debt) waits for the background stream, so the
+  // debt is bounded by what accrued while the secondary was unreachable.
+  const bool replicate = transfer->isWrite && mgmt.target(entry.secondary).online;
+  auto chunk = std::make_shared<MirrorChunk>();
+  chunk->transfer = transfer;
+  chunk->stripeSlot = stripeSlot;
+  chunk->bytes = bytes;
+  chunk->group = group;
+  chunk->remainingFlows = replicate ? 2 : 1;
+  chunk->failedAt = failedAt;
+  if (transfer->isWrite) {
+    mgmt.recordUsage(entry.primary, bytes);
+    // A degraded group keeps accepting writes single-copy; the secondary is
+    // owed the chunk on resync.
+    if (!replicate) mgmt.addResyncDebt(group, bytes);
+  }
+  inflightMirror_[group].push_back(chunk);
+  chunk->primaryFlow = fluid.startFlow(sim::FlowSpec{
+      .path = deployment_.writePath(transfer->node, entry.primary),
+      .bytes = bytes,
+      .queueWeight = transfer->queueWeight,
+      .rateCap = 0.0,
+      .onComplete =
+          [this, chunk](const sim::FlowStats&) { mirrorFlowDone(chunk, /*primarySide=*/true); },
+  });
+  if (replicate) {
+    mgmt.recordUsage(entry.secondary, bytes);
+    ++mirrorStats_.replicaFlows;
+    mirrorStats_.bytesReplicated += bytes;
+    chunk->replicaFlow = fluid.startFlow(sim::FlowSpec{
+        .path = deployment_.replicaPath(entry.primary, entry.secondary),
+        .bytes = bytes,
+        .queueWeight = transfer->queueWeight,
+        .rateCap = 0.0,
+        .onComplete =
+            [this, chunk](const sim::FlowStats&) { mirrorFlowDone(chunk, /*primarySide=*/false); },
+    });
+  }
+}
+
+void FileSystem::mirrorFlowDone(const std::shared_ptr<MirrorChunk>& chunk, bool primarySide) {
+  if (primarySide) {
+    chunk->primaryFlow = sim::FlowId{};
+  } else {
+    chunk->replicaFlow = sim::FlowId{};
+  }
+  BEESIM_ASSERT(chunk->remainingFlows > 0, "mirror chunk completion underflow");
+  if (--chunk->remainingFlows > 0) return;  // the other copy is still landing
+  resolveMirrorChunk(chunk);
+}
+
+void FileSystem::retireMirrorChunk(const std::shared_ptr<MirrorChunk>& chunk) {
+  auto& inflight = inflightMirror_[chunk->group];
+  inflight.erase(std::remove(inflight.begin(), inflight.end(), chunk), inflight.end());
+}
+
+void FileSystem::resolveMirrorChunk(const std::shared_ptr<MirrorChunk>& chunk) {
+  retireMirrorChunk(chunk);
+  if (chunk->failedAt >= 0.0) {
+    faultStats_.degradedTime += deployment_.fluid().now() - chunk->failedAt;
+  }
+  finishChunk(chunk->transfer);
+}
+
+void FileSystem::onMirrorTargetOffline(std::size_t target) {
+  auto& mgmt = deployment_.mgmt();
+  const auto gid = mgmt.mirrorGroupOf(target);
+  if (!gid) return;
+  auto& fluid = deployment_.fluid();
+  // Any in-progress resync crosses the dead member; its remaining delta
+  // stays owed (debt is only settled on completion).
+  cancelResync(*gid);
+
+  const auto& entry = mgmt.mirrorGroup(*gid);
+  if (target == mgmt.mirrorGroup(*gid).secondary) {
+    // Replica leg gone: writes continue single-copy against the primary.
+    // Partial replicas are untrusted, so each cancelled replica flow owes
+    // the whole chunk to the resync.
+    if (entry.state == MirrorState::kGood) {
+      mgmt.setMirrorState(*gid, MirrorState::kNeedsResync);
+    }
+    const auto chunks = inflightMirror_[*gid];  // snapshot: handlers mutate it
+    for (const auto& chunk : chunks) {
+      if (chunk->replicaFlow.value != 0 && fluid.flowActive(chunk->replicaFlow)) {
+        fluid.cancelFlow(chunk->replicaFlow);
+        chunk->replicaFlow = sim::FlowId{};
+        mgmt.addResyncDebt(*gid, chunk->bytes);
+        BEESIM_ASSERT(chunk->remainingFlows > 0, "mirror chunk completion underflow");
+        if (--chunk->remainingFlows == 0) resolveMirrorChunk(chunk);
+      }
+    }
+    return;
+  }
+  if (target != entry.primary) return;
+
+  if (entry.state == MirrorState::kGood && mgmt.target(entry.secondary).online) {
+    // mgmtd switchover: the secondary holds every acked byte, so promotion
+    // loses nothing and nothing is rewritten.  In-flight chunks keep their
+    // replica-leg progress: only the untransferred remainder is re-sent to
+    // the new primary.
+    mgmt.failOverMirrorGroup(*gid);
+    ++mirrorStats_.failovers;
+    const std::size_t newPrimary = mgmt.mirrorGroup(*gid).primary;
+    const auto chunks = inflightMirror_[*gid];
+    for (const auto& chunk : chunks) {
+      if (chunk->primaryFlow.value != 0 && fluid.flowActive(chunk->primaryFlow)) {
+        fluid.cancelFlow(chunk->primaryFlow);
+        chunk->primaryFlow = sim::FlowId{};
+      }
+      if (!chunk->transfer->isWrite) {
+        // Reads simply re-fetch the whole chunk from the surviving copy.
+        chunk->remainingFlows = 1;
+        chunk->primaryFlow = fluid.startFlow(sim::FlowSpec{
+            .path = deployment_.writePath(chunk->transfer->node, newPrimary),
+            .bytes = chunk->bytes,
+            .queueWeight = chunk->transfer->queueWeight,
+            .rateCap = 0.0,
+            .onComplete = [this, chunk](const sim::FlowStats&) { mirrorFlowDone(chunk, true); },
+        });
+        continue;
+      }
+      // The old primary's copy is stale whatever it received; the group
+      // owes the whole chunk to it on resync.
+      mgmt.addResyncDebt(*gid, chunk->bytes);
+      util::Bytes resend = 0;
+      if (chunk->replicaFlow.value != 0 && fluid.flowActive(chunk->replicaFlow)) {
+        resend = fluid.cancelFlow(chunk->replicaFlow).value_or(0);
+        chunk->replicaFlow = sim::FlowId{};
+      }
+      chunk->remainingFlows = 1;
+      if (resend == 0) {
+        // The replica already landed in full on the promoted target.
+        resolveMirrorChunk(chunk);
+        continue;
+      }
+      mirrorStats_.bytesResent += resend;
+      chunk->primaryFlow = fluid.startFlow(sim::FlowSpec{
+          .path = deployment_.writePath(chunk->transfer->node, newPrimary),
+          .bytes = resend,
+          .queueWeight = chunk->transfer->queueWeight,
+          .rateCap = 0.0,
+          .onComplete = [this, chunk](const sim::FlowStats&) { mirrorFlowDone(chunk, true); },
+      });
+    }
+    return;
+  }
+
+  // Primary died with no consistent secondary (offline or stale): acked
+  // bytes whose only up-to-date copy sat on the dead primary are lost; that
+  // is exactly the outstanding resync debt.
+  mirrorStats_.bytesLost += entry.resyncDebt;
+  mgmt.settleResyncDebt(*gid, entry.resyncDebt);
+  mgmt.setMirrorState(*gid, MirrorState::kBad);
+  // A stale-but-online survivor is still the best copy left: promote it so
+  // the group keeps serving (needs-resync toward the dead member) instead
+  // of leaking chunks to out-of-group substitutes.
+  const bool survivorOnline = mgmt.target(entry.secondary).online;
+  if (survivorOnline) mgmt.reviveMirrorGroup(*gid, entry.secondary);
+  const auto& policy = deployment_.params().faults;
+  const auto chunks = inflightMirror_[*gid];
+  for (const auto& chunk : chunks) {
+    if (chunk->primaryFlow.value != 0 && fluid.flowActive(chunk->primaryFlow)) {
+      fluid.cancelFlow(chunk->primaryFlow);
+    }
+    if (chunk->replicaFlow.value != 0 && fluid.flowActive(chunk->replicaFlow)) {
+      fluid.cancelFlow(chunk->replicaFlow);
+    }
+    retireMirrorChunk(chunk);
+    const util::Seconds detectedAt = chunk->failedAt >= 0.0 ? chunk->failedAt : fluid.now();
+    if (policy.mode == ClientFaultPolicy::Mode::kStrict) {
+      faultStats_.aborted = true;
+      faultStats_.degradedTime += fluid.now() - detectedAt;
+      finishChunk(chunk->transfer);
+      continue;
+    }
+    if (survivorOnline) {
+      // Full rewrite: nothing the dead primary received is trusted.
+      if (chunk->transfer->isWrite) faultStats_.bytesRewritten += chunk->bytes;
+      issueMirroredChunk(chunk->transfer, chunk->stripeSlot, chunk->bytes, *gid,
+                         detectedAt);
+      continue;
+    }
+    failOverChunk(chunk->transfer, chunk->stripeSlot, chunk->bytes, detectedAt,
+                  /*rewrite=*/true);
+  }
+}
+
+void FileSystem::onMirrorTargetOnline(std::size_t target) {
+  auto& mgmt = deployment_.mgmt();
+  const auto gid = mgmt.mirrorGroupOf(target);
+  if (!gid) return;
+  const auto& entry = mgmt.mirrorGroup(*gid);
+  if (entry.state == MirrorState::kBad) {
+    // First member back after a double failure: it becomes the
+    // authoritative side and the group re-opens in needs-resync.
+    mgmt.reviveMirrorGroup(*gid, target);
+  }
+  maybeStartResync(*gid);
+}
+
+void FileSystem::maybeStartResync(std::size_t group) {
+  const auto& mgmt = deployment_.mgmt();
+  const auto& entry = mgmt.mirrorGroup(group);
+  if (entry.state != MirrorState::kNeedsResync) return;
+  if (resyncActive(group)) return;
+  if (!mgmt.target(entry.primary).online || !mgmt.target(entry.secondary).online) return;
+  if (entry.resyncDebt == 0) {
+    deployment_.mgmt().setMirrorState(group, MirrorState::kGood);
+    return;
+  }
+  startResyncRound(group);
+}
+
+void FileSystem::startResyncRound(std::size_t group) {
+  auto& mgmt = deployment_.mgmt();
+  auto& fluid = deployment_.fluid();
+  const auto& entry = mgmt.mirrorGroup(group);
+  const util::Bytes delta = entry.resyncDebt;
+  const auto& mirror = deployment_.params().mirror;
+  mgmt.recordUsage(entry.secondary, delta);
+  resync_[group] = fluid.startFlow(sim::FlowSpec{
+      .path = deployment_.replicaPath(entry.primary, entry.secondary),
+      .bytes = delta,
+      .queueWeight = mirror.resyncQueueWeight,
+      .rateCap = mirror.resyncRate,
+      .onComplete =
+          [this, group, delta](const sim::FlowStats& stats) {
+            resync_[group] = sim::FlowId{};
+            auto& mgmt = deployment_.mgmt();
+            ++mirrorStats_.resyncJobs;
+            mirrorStats_.bytesResynced += delta;
+            mirrorStats_.resyncSeconds += stats.endTime - stats.startTime;
+            mgmt.settleResyncDebt(group, delta);
+            // Writes issued during the round re-opened debt: chain another
+            // round until the delta drains, then the group is good again.
+            maybeStartResync(group);
+          },
+  });
+}
+
+void FileSystem::cancelResync(std::size_t group) {
+  if (resync_.empty() || resync_[group].value == 0) return;
+  auto& fluid = deployment_.fluid();
+  if (fluid.flowActive(resync_[group])) fluid.cancelFlow(resync_[group]);
+  resync_[group] = sim::FlowId{};
 }
 
 void FileSystem::writeAsync(std::size_t node, FileHandle handle, util::Bytes offset,

@@ -29,6 +29,10 @@ struct FileInfo {
   std::string path;
   StripePattern pattern;
   util::Bytes size = 0;
+  /// Mirrored file: every pattern target is a mirror-group anchor and chunks
+  /// are routed to the group's *current* primary (so failover redirects new
+  /// chunks without touching the pattern).
+  bool mirrored = false;
 };
 
 class FileSystem {
@@ -94,6 +98,14 @@ class FileSystem {
   /// (inspectable by tests; keyed by slot index within the stripe pattern).
   std::map<std::size_t, std::size_t> degradedSlots(FileHandle handle) const;
 
+  // -- Buddy mirroring (MirrorPolicy; see DESIGN.md §2.4). -----------------
+
+  /// Cumulative mirroring/resync accounting across all transfers.
+  const MirrorStats& mirrorStats() const { return mirrorStats_; }
+
+  /// True while a background resync flow is streaming group `id`'s delta.
+  bool resyncActive(std::size_t id) const;
+
  private:
   /// Shared bookkeeping of one writeAsync/readAsync call: the operation
   /// completes when every chunk resolved (successfully or by abort).
@@ -131,6 +143,33 @@ class FileSystem {
   /// Mark one chunk resolved; fires the transfer's done when all are.
   void finishChunk(const std::shared_ptr<TransferState>& transfer);
 
+  /// One in-flight chunk of a mirrored file: a primary flow plus (for
+  /// consistent writes) a replica flow; the chunk acks when both landed.
+  struct MirrorChunk {
+    std::shared_ptr<TransferState> transfer;
+    std::size_t stripeSlot = 0;
+    util::Bytes bytes = 0;
+    std::size_t group = 0;
+    sim::FlowId primaryFlow{};
+    sim::FlowId replicaFlow{};
+    std::size_t remainingFlows = 0;
+    util::Seconds failedAt = -1.0;
+  };
+
+  void issueMirroredChunk(const std::shared_ptr<TransferState>& transfer,
+                          std::size_t stripeSlot, util::Bytes bytes, std::size_t group,
+                          util::Seconds failedAt);
+  void mirrorFlowDone(const std::shared_ptr<MirrorChunk>& chunk, bool primarySide);
+  void retireMirrorChunk(const std::shared_ptr<MirrorChunk>& chunk);
+  void resolveMirrorChunk(const std::shared_ptr<MirrorChunk>& chunk);
+  /// Registry switchover signal handlers (mgmtd target-state listener).
+  void onMirrorTargetOffline(std::size_t target);
+  void onMirrorTargetOnline(std::size_t target);
+  /// Start a resync round if the group needs one and both members are up.
+  void maybeStartResync(std::size_t group);
+  void startResyncRound(std::size_t group);
+  void cancelResync(std::size_t group);
+
   Deployment& deployment_;
   util::Rng rng_;
   std::unique_ptr<TargetChooser> chooser_;
@@ -139,6 +178,11 @@ class FileSystem {
   ClientFaultStats faultStats_;
   /// (file handle, stripe slot) -> substitute target after a failover.
   std::map<std::pair<std::size_t, std::size_t>, std::size_t> substitutes_;
+  MirrorStats mirrorStats_;
+  /// In-flight mirrored chunks per group (index == group id).
+  std::vector<std::vector<std::shared_ptr<MirrorChunk>>> inflightMirror_;
+  /// Active background resync flow per group (id 0 == none).
+  std::vector<sim::FlowId> resync_;
 };
 
 }  // namespace beesim::beegfs

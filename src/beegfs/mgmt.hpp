@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "topology/cluster.hpp"
@@ -29,8 +32,40 @@ struct TargetEntry {
   util::Bytes used = 0;
 };
 
+/// Consistency state of a buddy-mirror group (beegfs-ctl --listmirrorgroups
+/// reports the same three states per target).
+enum class MirrorState {
+  /// Both copies identical; writes are replicated synchronously.
+  kGood,
+  /// The secondary is stale (it was offline, or a failover just promoted it
+  /// from the other role); the delta is tracked in `resyncDebt` and streamed
+  /// back by a background resync once both members are online.
+  kNeedsResync,
+  /// No consistent copy is reachable (primary died while the secondary was
+  /// offline or stale).  The group rejoins as needs-resync when a member
+  /// returns.
+  kBad,
+};
+
+const char* mirrorStateName(MirrorState state);
+
+/// One storage buddy-mirror group: a primary/secondary target pair on
+/// distinct hosts.  `primary`/`secondary` are flat target indices and swap
+/// on failover; `resyncDebt` is the byte delta the secondary is missing.
+struct MirrorGroup {
+  std::size_t id = 0;
+  std::size_t primary = 0;
+  std::size_t secondary = 0;
+  MirrorState state = MirrorState::kGood;
+  util::Bytes resyncDebt = 0;
+};
+
 class ManagementService {
  public:
+  /// Observer of target online-state flips; fired by setTargetOnline only on
+  /// an actual change (the client uses this as the mgmtd switchover signal).
+  using TargetStateListener = std::function<void(std::size_t flatIndex, bool online)>;
+
   /// Registers every target of the cluster.  `targetCapacity` is the usable
   /// capacity attributed to each OST (PlaFRIM: 131 TB / 8).
   ManagementService(const topo::ClusterConfig& cluster, util::Bytes targetCapacity);
@@ -54,9 +89,52 @@ class ManagementService {
   /// Targets per host (registry view).
   std::size_t targetsOnHost(std::size_t host) const;
 
+  /// Register a buddy-mirror group.  Throws ConfigError unless both targets
+  /// exist, sit on distinct hosts and belong to no other group.  Returns the
+  /// group id.
+  std::size_t registerMirrorGroup(std::size_t primary, std::size_t secondary);
+
+  std::size_t mirrorGroupCount() const { return groups_.size(); }
+  const MirrorGroup& mirrorGroup(std::size_t id) const;
+
+  /// Group containing `flatIndex`, if any (O(1)).
+  std::optional<std::size_t> mirrorGroupOf(std::size_t flatIndex) const;
+
+  /// Swap primary and secondary after a primary failure.  The promoted
+  /// target must hold a consistent copy: this throws ContractError unless
+  /// the group is in state good and the secondary is online.  The group
+  /// leaves in state needs-resync (the old primary is stale now).
+  void failOverMirrorGroup(std::size_t id);
+
+  /// Bring a bad group back into service with `primary` (which must be
+  /// online and a member) as its authoritative side; state becomes
+  /// needs-resync with the debt untouched.
+  void reviveMirrorGroup(std::size_t id, std::size_t primary);
+
+  void setMirrorState(std::size_t id, MirrorState state);
+
+  /// Grow / settle the byte delta the secondary is missing.
+  void addResyncDebt(std::size_t id, util::Bytes bytes);
+  void settleResyncDebt(std::size_t id, util::Bytes bytes);
+
+  void addTargetStateListener(TargetStateListener listener);
+
  private:
+  MirrorGroup& mutableGroup(std::size_t id);
+
   std::vector<TargetEntry> targets_;
   std::vector<std::size_t> hostTargetCount_;
+  std::vector<MirrorGroup> groups_;
+  /// flat target index -> group id (or npos); sized lazily on registration.
+  std::vector<std::size_t> groupOfTarget_;
+  std::vector<TargetStateListener> listeners_;
 };
+
+/// Default buddy pairing for a cluster: target t of host h pairs with target
+/// t of host h+1 (hosts taken two by two), orientation alternating per group
+/// so primaries spread evenly across both hosts of a pair.  Empty when fewer
+/// than two hosts exist.
+std::vector<std::pair<std::size_t, std::size_t>> defaultMirrorPairs(
+    const topo::ClusterConfig& cluster);
 
 }  // namespace beesim::beegfs

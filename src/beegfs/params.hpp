@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "util/units.hpp"
 
@@ -38,6 +40,45 @@ struct StripeSettings {
   unsigned stripeCount = 4;
   /// Chunk ("stripe") size.
   util::Bytes chunkSize = 512 * util::kKiB;
+  /// Stripe over buddy-mirror groups instead of raw targets (beegfs-ctl
+  /// --setpattern --buddymirror).  Requires MirrorPolicy::enabled so groups
+  /// exist; each stripe slot then addresses a group's current primary.
+  bool mirror = false;
+};
+
+/// Storage buddy-mirroring configuration (beegfs-mgmtd side).  Mirror groups
+/// pair a primary and a secondary target on distinct hosts; mirrored writes
+/// are forwarded primary -> secondary and acked only when both copies landed.
+struct MirrorPolicy {
+  bool enabled = false;
+  /// Explicit (primary, secondary) flat-target pairs.  Empty means the
+  /// deployment derives a default pairing across host boundaries
+  /// (defaultMirrorPairs in mgmt.hpp).
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  /// Rate cap for background resync flows (<= 0: uncapped).
+  util::MiBps resyncRate = 0.0;
+  /// Queue weight of resync flows relative to foreground chunk flows
+  /// (weight 1.0); < 1 makes resync yield bandwidth to applications.
+  double resyncQueueWeight = 0.25;
+};
+
+/// Cumulative mirroring/resync accounting (one FileSystem's view).
+struct MirrorStats {
+  /// Secondary replica flows issued (one per mirrored write chunk while the
+  /// group is consistent).
+  std::size_t replicaFlows = 0;
+  util::Bytes bytesReplicated = 0;
+  /// Primary -> secondary switchovers performed by the registry.
+  std::size_t failovers = 0;
+  /// Bytes of in-flight chunks re-sent to the new primary after a failover
+  /// (only the untransferred remainder of the replica leg; never a rewrite).
+  util::Bytes bytesResent = 0;
+  /// Acked bytes whose only surviving copy died (group went bad).
+  util::Bytes bytesLost = 0;
+  /// Completed background resync rounds and the delta they streamed.
+  std::size_t resyncJobs = 0;
+  util::Bytes bytesResynced = 0;
+  util::Seconds resyncSeconds = 0.0;
 };
 
 /// Client kernel-module model.
@@ -149,6 +190,8 @@ struct BeegfsParams {
   /// Client failure semantics for mid-run target faults (default: none, the
   /// exact legacy behaviour).
   ClientFaultPolicy faults;
+  /// Storage buddy mirroring (default: disabled, no groups registered).
+  MirrorPolicy mirror;
 };
 
 /// Per-run environment state (production-system mood): multiplicative

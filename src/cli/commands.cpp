@@ -125,8 +125,24 @@ int cmdRun(const Args& args, std::ostream& out) {
   const auto mttf = args.getDouble("mttf", 0.0);
   const auto mttr = args.getDouble("mttr", 0.0);
   const auto faultHorizon = args.getDouble("fault-horizon", 120.0);
+  const bool mirror = args.getBool("mirror");
+  const auto resyncRate = args.getDouble("resync-rate", 0.0);
   const auto exec = executorOptions(args, "run");
   rejectUnknownFlags(args);
+
+  // A non-positive duration or rate silently produces empty or degenerate
+  // fault schedules (a 0 MTTF reads as "disabled"); reject them instead.
+  // The duration flags with a meaningful zero default are only checked when
+  // the user passed them.
+  if (ioTimeout <= 0.0) throw util::ConfigError("--io-timeout must be > 0");
+  if (args.get("mttf") && mttf <= 0.0) throw util::ConfigError("--mttf must be > 0");
+  if (args.get("mttr") && mttr <= 0.0) throw util::ConfigError("--mttr must be > 0");
+  if (args.get("fault-horizon") && faultHorizon <= 0.0) {
+    throw util::ConfigError("--fault-horizon must be > 0");
+  }
+  if (args.get("resync-rate") && resyncRate <= 0.0) {
+    throw util::ConfigError("--resync-rate must be > 0 (omit the flag for uncapped resync)");
+  }
 
   config.fs.defaultStripe.stripeCount = stripe;
   config.job = ior::IorJob::onFirstNodes(cluster.nodes.size(), ppn);
@@ -162,6 +178,14 @@ int cmdRun(const Args& args, std::ostream& out) {
   }
   config.fs.faults.ioTimeout = ioTimeout;
 
+  // Storage buddy mirroring: default cross-host pairing, mirrored striping
+  // for every file the run creates.
+  if (mirror) {
+    config.fs.mirror.enabled = true;
+    config.fs.mirror.resyncRate = resyncRate;
+    config.fs.defaultStripe.mirror = true;
+  }
+
   std::vector<harness::CampaignEntry> entries(1);
   entries[0].config = config;
   harness::ProtocolOptions protocol;
@@ -169,6 +193,7 @@ int cmdRun(const Args& args, std::ostream& out) {
 
   std::map<std::string, std::size_t> allocationCounts;
   beegfs::ClientFaultStats faultTotals;
+  beegfs::MirrorStats mirrorTotals;
   std::size_t faultAborts = 0;
   const auto store = harness::executeCampaign(
       entries, protocol, seed,
@@ -180,6 +205,13 @@ int cmdRun(const Args& args, std::ostream& out) {
         faultTotals.bytesRewritten += record.ior.faults.bytesRewritten;
         faultTotals.degradedTime += record.ior.faults.degradedTime;
         if (record.ior.failed) ++faultAborts;
+        mirrorTotals.failovers += record.ior.mirror.failovers;
+        mirrorTotals.bytesReplicated += record.ior.mirror.bytesReplicated;
+        mirrorTotals.bytesResent += record.ior.mirror.bytesResent;
+        mirrorTotals.bytesLost += record.ior.mirror.bytesLost;
+        mirrorTotals.resyncJobs += record.ior.mirror.resyncJobs;
+        mirrorTotals.bytesResynced += record.ior.mirror.bytesResynced;
+        mirrorTotals.resyncSeconds += record.ior.mirror.resyncSeconds;
       },
       exec);
 
@@ -196,6 +228,16 @@ int cmdRun(const Args& args, std::ostream& out) {
         << " rewritten=" << util::fmt(util::toMiB(faultTotals.bytesRewritten), 1)
         << " MiB degraded=" << util::fmt(faultTotals.degradedTime, 2)
         << " s aborted_runs=" << faultAborts << "\n";
+  }
+  if (mirror) {
+    out << "mirror (totals over " << reps
+        << " reps): replicated=" << util::fmt(util::toMiB(mirrorTotals.bytesReplicated), 1)
+        << " MiB failovers=" << mirrorTotals.failovers
+        << " resent=" << util::fmt(util::toMiB(mirrorTotals.bytesResent), 1)
+        << " MiB lost=" << util::fmt(util::toMiB(mirrorTotals.bytesLost), 1)
+        << " MiB resyncs=" << mirrorTotals.resyncJobs
+        << " resynced=" << util::fmt(util::toMiB(mirrorTotals.bytesResynced), 1)
+        << " MiB resync_time=" << util::fmt(mirrorTotals.resyncSeconds, 2) << " s\n";
   }
 
   if (!traceFile.empty()) {
@@ -369,6 +411,9 @@ std::string usage() {
          "                --faults \"off:t3@30;on:t3@90;off:h1@60;link:h0@40=0.5\"\n"
          "                --fault-mode strict|degraded (default degraded with --faults)\n"
          "                --io-timeout S --mttf S --mttr S --fault-horizon S\n"
+         "                --mirror    stripe over buddy-mirror groups (synchronous\n"
+         "                            cross-host replication with automatic failover)\n"
+         "                --resync-rate MiBps   cap background resync flows (default uncapped)\n"
          "sweep flags:    --ppn --reps --total --chooser\n"
          "concurrent:     --apps --nodes-per-app --ppn --stripe --total --reps\n"
          "export-cluster: --out FILE\n";
@@ -381,7 +426,8 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream
   }
   const std::string command = argv[0];
   try {
-    const Args args(std::vector<std::string>(argv.begin() + 1, argv.end()), {"progress"});
+    const Args args(std::vector<std::string>(argv.begin() + 1, argv.end()),
+                    {"progress", "mirror"});
     if (command == "describe") return cmdDescribe(args, out);
     if (command == "run") return cmdRun(args, out);
     if (command == "sweep") return cmdSweep(args, out);

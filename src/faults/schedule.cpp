@@ -56,6 +56,12 @@ void FaultSchedule::normalize(std::size_t targetCount, std::size_t hostCount) {
                    [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
 }
 
+void FaultSchedule::clampToHorizon(util::Seconds horizon) {
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [horizon](const FaultEvent& e) { return e.at >= horizon; }),
+               events.end());
+}
+
 namespace {
 
 void generateRenewal(std::vector<FaultEvent>& out, FaultKind fail, FaultKind recover,
@@ -89,6 +95,10 @@ FaultSchedule generateSchedule(const StochasticFaultSpec& spec, std::size_t targ
                   targetCount, spec.targetMttf, spec.targetMttr, spec.horizon, rng);
   generateRenewal(schedule.events, FaultKind::kHostFail, FaultKind::kHostRecover, hostCount,
                   spec.hostMttf, spec.hostMttr, spec.horizon, rng);
+  // generateRenewal already stops at the horizon, but the boundary case (an
+  // event at exactly t == horizon) must follow the documented half-open
+  // contract regardless of how the events were produced.
+  schedule.clampToHorizon(spec.horizon);
   schedule.normalize(targetCount, hostCount);
   return schedule;
 }

@@ -54,6 +54,11 @@ struct FaultSchedule {
   /// (index bounds, link fractions in (0, 1], non-negative times).  Throws
   /// util::ConfigError on invalid events.
   void normalize(std::size_t targetCount, std::size_t hostCount);
+
+  /// Drop every event outside the half-open window [0, horizon): an event at
+  /// exactly t == horizon is excluded, failures and recoveries alike.  This
+  /// is the contract generateSchedule enforces on its output.
+  void clampToHorizon(util::Seconds horizon);
 };
 
 /// Stochastic fault generator: each target/host alternates up and down with
@@ -64,7 +69,9 @@ struct StochasticFaultSpec {
   util::Seconds targetMttr = 0.0;
   util::Seconds hostMttf = 0.0;
   util::Seconds hostMttr = 0.0;
-  /// Events are generated in [0, horizon).
+  /// Events are generated in the half-open window [0, horizon): an event
+  /// landing exactly on the horizon is dropped, failures and recoveries
+  /// alike (FaultSchedule::clampToHorizon documents and enforces this).
   util::Seconds horizon = 0.0;
 };
 

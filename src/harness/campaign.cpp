@@ -52,6 +52,16 @@ ResultRow makeRow(const CampaignEntry& entry, const PlannedRun& planned,
     row.metrics["fault_degraded_seconds"] = record.ior.faults.degradedTime;
     row.metrics["fault_aborted"] = record.ior.failed ? 1.0 : 0.0;
   }
+  if (record.mirrorActive) {
+    // Same contract as fault_*: only mirrored runs carry these columns.
+    row.metrics["mirror_failovers"] = static_cast<double>(record.ior.mirror.failovers);
+    row.metrics["mirror_replica_mib"] = util::toMiB(record.ior.mirror.bytesReplicated);
+    row.metrics["mirror_resent_mib"] = util::toMiB(record.ior.mirror.bytesResent);
+    row.metrics["mirror_lost_mib"] = util::toMiB(record.ior.mirror.bytesLost);
+    row.metrics["resync_jobs"] = static_cast<double>(record.ior.mirror.resyncJobs);
+    row.metrics["resync_mib"] = util::toMiB(record.ior.mirror.bytesResynced);
+    row.metrics["resync_seconds"] = record.ior.mirror.resyncSeconds;
+  }
   if (annotate) annotate(record, row);
   return row;
 }

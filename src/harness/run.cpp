@@ -66,6 +66,13 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
   fluid.run();
   BEESIM_ASSERT(finished, "benchmark run did not complete");
   if (injector) record.injected = injector->stats();
+  if (config.fs.mirror.enabled) {
+    record.mirrorActive = true;
+    // Background resync can outlive the job; re-snapshot after the drain so
+    // post-job resync rounds count.  The file system is fresh per run, so
+    // its totals equal this run's delta.
+    record.ior.mirror = fs.mirrorStats();
+  }
   return record;
 }
 

@@ -53,6 +53,9 @@ struct RunRecord {
   /// True when this run had a fault plan armed (campaign rows then carry the
   /// fault_* metric columns).
   bool faultsActive = false;
+  /// True when the run used storage mirroring (campaign rows then carry the
+  /// mirror_* / resync_* metric columns).
+  bool mirrorActive = false;
   /// What the injector fired (zeroed when !faultsActive).
   faults::InjectorStats injected;
 };

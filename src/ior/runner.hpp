@@ -54,6 +54,11 @@ struct IorResult {
   /// system's counters between launch and completion).  All-zero for healthy
   /// runs or when no fault policy is armed.
   beegfs::ClientFaultStats faults;
+  /// Mirroring/resync accounting attributable to this run (delta between
+  /// launch and completion).  Background resync that outlives the job keeps
+  /// counting in the file system's totals; the harness re-snapshots after
+  /// the simulation drains (see harness::runOnce).
+  beegfs::MirrorStats mirror;
   /// True when the run was aborted by the fault policy (strict mode, or
   /// degraded mode with no surviving target).  `bandwidth` is reported as 0
   /// for failed runs -- the planned bytes never fully landed.

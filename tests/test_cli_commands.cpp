@@ -104,6 +104,43 @@ TEST(Cli, ExportWithoutOutPrintsJson) {
   EXPECT_NE(result.out.find("\"hosts\""), std::string::npos);
 }
 
+TEST(Cli, RunWithMirrorReportsReplicationTotals) {
+  const auto result = run({"run", "--cluster", "plafrim1", "--nodes", "2", "--reps", "2",
+                           "--total", "2GiB", "--mirror"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("mirror (totals over 2 reps)"), std::string::npos);
+  EXPECT_NE(result.out.find("failovers=0"), std::string::npos);
+  EXPECT_NE(result.out.find("lost=0.0 MiB"), std::string::npos);
+}
+
+TEST(Cli, RejectsNonPositiveFaultAndMirrorDurations) {
+  // Satellite: a non-positive duration/rate silently disables or degrades
+  // the feature it configures; each is rejected with a pointed message.
+  const auto base = std::vector<std::string>{"run", "--cluster", "plafrim1", "--nodes",
+                                             "2",   "--reps",    "1",        "--total",
+                                             "1GiB"};
+  const auto with = [&](std::initializer_list<std::string> extra) {
+    auto argv = base;
+    argv.insert(argv.end(), extra);
+    return run(argv);
+  };
+  for (const auto& [flag, value] : std::vector<std::pair<std::string, std::string>>{
+           {"--io-timeout", "0"},
+           {"--io-timeout", "-1"},
+           {"--mttf", "0"},
+           {"--mttr", "-2"},
+           {"--fault-horizon", "0"},
+           {"--resync-rate", "-5"},
+       }) {
+    const auto result = with({flag, value});
+    EXPECT_EQ(result.code, 1) << flag << " " << value;
+    EXPECT_NE(result.err.find(flag + " must be > 0"), std::string::npos)
+        << flag << ": " << result.err;
+  }
+  // Omitting the optional flags stays valid (zero defaults mean "disabled").
+  EXPECT_EQ(with({}).code, 0);
+}
+
 TEST(Cli, ErrorsAreReportedNotThrown) {
   EXPECT_EQ(run({"run", "--stripe", "banana"}).code, 1);
   EXPECT_EQ(run({"describe", "--cluster", "/no/such/file.json"}).code, 1);

@@ -106,6 +106,37 @@ TEST(FaultSchedule, StochasticGeneratorIsDeterministicAndAlternates) {
   }
 }
 
+TEST(FaultSchedule, ClampToHorizonIsHalfOpen) {
+  // The horizon contract: events live in [0, horizon).  An event at exactly
+  // t == horizon is dropped -- failures and recoveries alike, so a schedule
+  // can never end on a recovery that sneaks in at the boundary.
+  auto s = faults::parseSchedule("off:t0@9.999;on:t0@10;off:t1@10;link:h0@10.5=0.5");
+  s.clampToHorizon(10.0);
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_EQ(s.events[0].kind, faults::FaultKind::kTargetFail);
+  EXPECT_DOUBLE_EQ(s.events[0].at, 9.999);
+
+  // Clamping an already-clamped schedule is a no-op.
+  s.clampToHorizon(10.0);
+  EXPECT_EQ(s.events.size(), 1u);
+}
+
+TEST(FaultSchedule, GeneratedEventsStayStrictlyInsideHorizon) {
+  faults::StochasticFaultSpec spec;
+  spec.targetMttf = 5.0;
+  spec.targetMttr = 2.0;
+  spec.hostMttf = 8.0;
+  spec.hostMttr = 3.0;
+  spec.horizon = 20.0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    util::Rng rng(seed);
+    const auto s = faults::generateSchedule(spec, 8, 2, rng);
+    for (const auto& e : s.events) {
+      EXPECT_LT(e.at, spec.horizon) << "seed " << seed;
+    }
+  }
+}
+
 // -- Injector against a live deployment -----------------------------------
 
 struct System {
