@@ -1,6 +1,7 @@
 #include "cli/args.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
@@ -69,14 +70,20 @@ std::size_t Args::getUnsigned(const std::string& name, std::size_t fallback) con
 double Args::getDouble(const std::string& name, double fallback) const {
   const auto value = get(name);
   if (!value) return fallback;
+  double parsed = 0.0;
   try {
     std::size_t pos = 0;
-    const double parsed = std::stod(*value, &pos);
+    parsed = std::stod(*value, &pos);
     if (pos != value->size()) throw std::invalid_argument("trailing");
-    return parsed;
   } catch (const std::exception&) {
     throw util::ConfigError("flag --" + name + ": '" + *value + "' is not a number");
   }
+  // std::stod happily parses "nan" and "inf", and NaN then slips through
+  // every `x <= 0` validity guard downstream (NaN comparisons are false).
+  if (!std::isfinite(parsed)) {
+    throw util::ConfigError("flag --" + name + ": '" + *value + "' is not a finite number");
+  }
+  return parsed;
 }
 
 util::Bytes Args::getBytes(const std::string& name, util::Bytes fallback) const {
@@ -87,7 +94,12 @@ util::Bytes Args::getBytes(const std::string& name, util::Bytes fallback) const 
 
 bool Args::getBool(const std::string& name) const {
   const auto value = get(name);
-  return value && (*value == "true" || *value == "1" || *value == "yes");
+  if (!value) return false;
+  if (*value == "true" || *value == "1" || *value == "yes") return true;
+  if (*value == "false" || *value == "0" || *value == "no") return false;
+  // Anything else (e.g. --mirror=tru) must not silently mean "false".
+  throw util::ConfigError("flag --" + name + ": '" + *value +
+                          "' is not a boolean (use true/1/yes or false/0/no)");
 }
 
 std::vector<std::string> Args::unusedFlags() const {

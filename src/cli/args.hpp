@@ -29,8 +29,12 @@ class Args {
   long getInt(const std::string& name, long fallback) const;
   /// Non-negative integer (e.g. --jobs, --reps); rejects negatives.
   std::size_t getUnsigned(const std::string& name, std::size_t fallback) const;
+  /// Finite double; rejects nan/inf (which std::stod would accept and which
+  /// then bypass `<= 0` sanity guards, NaN comparing false to everything).
   double getDouble(const std::string& name, double fallback) const;
   util::Bytes getBytes(const std::string& name, util::Bytes fallback) const;
+  /// true/1/yes -> true, false/0/no -> false, absent -> false; anything else
+  /// throws instead of silently reading as false.
   bool getBool(const std::string& name) const;
 
   const std::vector<std::string>& positionals() const { return positionals_; }

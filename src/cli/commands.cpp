@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "core/advisor.hpp"
@@ -119,6 +120,9 @@ int cmdRun(const Args& args, std::ostream& out) {
   const auto pattern = args.getString("pattern", "n1");
   const auto op = args.getString("op", "write");
   const auto traceFile = args.getString("trace", "");
+  const auto traceOut = args.getString("trace-out", "");
+  const auto metricsOut = args.getString("metrics-out", "");
+  const auto metricsDt = args.getDouble("metrics-dt", 0.1);
   const auto faultSpec = args.getString("faults", "");
   const auto faultMode = args.getString("fault-mode", "");
   const auto ioTimeout = args.getDouble("io-timeout", 5.0);
@@ -143,6 +147,7 @@ int cmdRun(const Args& args, std::ostream& out) {
   if (args.get("resync-rate") && resyncRate <= 0.0) {
     throw util::ConfigError("--resync-rate must be > 0 (omit the flag for uncapped resync)");
   }
+  if (metricsDt <= 0.0) throw util::ConfigError("--metrics-dt must be > 0");
 
   config.fs.defaultStripe.stripeCount = stripe;
   config.job = ior::IorJob::onFirstNodes(cluster.nodes.size(), ppn);
@@ -240,17 +245,34 @@ int cmdRun(const Args& args, std::ostream& out) {
         << " MiB resync_time=" << util::fmt(mirrorTotals.resyncSeconds, 2) << " s\n";
   }
 
-  if (!traceFile.empty()) {
+  if (!traceFile.empty() || !traceOut.empty() || !metricsOut.empty()) {
     // One extra traced run (same seed as the campaign root) with the flow
-    // timeline exported as JSONL and a per-resource traffic decomposition.
+    // timeline exported as JSONL and/or Chrome-trace JSON, an optional
+    // virtual-time metrics series, and a per-resource traffic decomposition.
     util::Rng rng(seed);
     sim::FluidSimulator fluid;
     beegfs::Deployment deployment(fluid, cluster, config.fs, rng.split());
     beegfs::FileSystem fs(deployment, rng.split());
     sim::FlowTracer tracer(fluid);
-    ior::runIor(fs, config.job, config.ior);
-    tracer.writeJsonl(traceFile);
-    out << "trace: wrote " << tracer.events().size() << " events to " << traceFile << "\n";
+    if (!metricsOut.empty() || !traceOut.empty()) tracer.setMetricsInterval(metricsDt);
+    for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
+      tracer.trackLink(deployment.serverNicResource(h), cluster.hosts[h].name);
+    }
+    const auto traced = ior::runIor(fs, config.job, config.ior);
+    if (!traceFile.empty()) {
+      tracer.writeJsonl(traceFile);
+      out << "trace: wrote " << tracer.events().size() << " events to " << traceFile << "\n";
+    }
+    if (!traceOut.empty()) {
+      tracer.writeChromeTrace(traceOut);
+      out << "trace: wrote Chrome trace (" << tracer.events().size() << " events, "
+          << tracer.samples().size() << " samples) to " << traceOut << "\n";
+    }
+    if (!metricsOut.empty()) {
+      tracer.writeMetricsCsv(metricsOut);
+      out << "metrics: wrote " << tracer.samples().size() << " samples (dt="
+          << util::fmt(metricsDt, 3) << " s) to " << metricsOut << "\n";
+    }
     util::TableWriter usage({"resource", "MiB carried", "busy s", "peak MiB/s"});
     for (const auto& u : tracer.resourceUsage()) {
       if (u.mib <= 0.0) continue;
@@ -258,6 +280,24 @@ int cmdRun(const Args& args, std::ostream& out) {
                     util::fmt(u.peakRate, 0)});
     }
     out << usage.render();
+    // Per-server split of the traced run: the measured view of the paper's
+    // (min,max) balance story.
+    const util::Seconds span = traced.end - traced.start;
+    double sum = 0.0;
+    double peak = 0.0;
+    util::TableWriter servers({"server", "MiB", "busy frac"});
+    for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
+      const auto link = deployment.serverNicResource(h);
+      const double mib = tracer.resourceMiB(link);
+      const double busy = span > 0.0 ? tracer.resourceBusyTime(link) / span : 0.0;
+      servers.addRow({cluster.hosts[h].name, util::fmt(mib, 0), util::fmt(busy, 3)});
+      sum += mib;
+      peak = std::max(peak, mib);
+    }
+    out << servers.render();
+    const double imbalance =
+        sum > 0.0 ? peak * static_cast<double>(cluster.hosts.size()) / sum : 0.0;
+    out << "link_imbalance (max/mean server MiB): " << util::fmt(imbalance, 3) << "\n";
   }
   return 0;
 }
@@ -408,6 +448,11 @@ std::string usage() {
          "  --progress  live status line on stderr (runs done, ETA, slowest config)\n"
          "run flags:      --ppn --stripe --total --chooser --reps --pattern n1|nn\n"
          "                --op write|read --trace FILE.jsonl\n"
+         "                --trace-out FILE.json   Chrome-trace/Perfetto export of one\n"
+         "                            traced run (flows + rate/link counter tracks)\n"
+         "                --metrics-out FILE.csv  virtual-time metrics series (aggregate\n"
+         "                            MiB/s, per-server link MiB/s, link imbalance)\n"
+         "                --metrics-dt S          sampling interval (default 0.1)\n"
          "                --faults \"off:t3@30;on:t3@90;off:h1@60;link:h0@40=0.5\"\n"
          "                --fault-mode strict|degraded (default degraded with --faults)\n"
          "                --io-timeout S --mttf S --mttr S --fault-horizon S\n"

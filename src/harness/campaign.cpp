@@ -1,5 +1,6 @@
 #include "harness/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -62,6 +63,16 @@ ResultRow makeRow(const CampaignEntry& entry, const PlannedRun& planned,
     row.metrics["resync_mib"] = util::toMiB(record.ior.mirror.bytesResynced);
     row.metrics["resync_seconds"] = record.ior.mirror.resyncSeconds;
   }
+  if (record.ior.util.active) {
+    // Same contract again: only utilization-observed runs carry the
+    // per-server traffic split, so default campaigns keep their exact bytes.
+    for (std::size_t k = 0; k < record.ior.util.serverMiB.size(); ++k) {
+      const std::string srv = "srv" + std::to_string(k);
+      row.metrics[srv + "_mib"] = record.ior.util.serverMiB[k];
+      row.metrics[srv + "_busy_frac"] = record.ior.util.serverBusyFrac[k];
+    }
+    row.metrics["link_imbalance"] = record.ior.util.linkImbalance;
+  }
   if (annotate) annotate(record, row);
   return row;
 }
@@ -74,9 +85,20 @@ class ProgressTracker {
                   const std::vector<CampaignEntry>& entries)
       : exec_(exec), entries_(entries) {
     progress_.total = total;
+    if (exec_.totals) *exec_.totals = CampaignTotals{};
   }
 
-  void committed(const PlannedRun& planned, double runSeconds) {
+  void committed(const PlannedRun& planned, const RunRecord& record, double runSeconds) {
+    if (exec_.totals) {
+      auto& totals = *exec_.totals;
+      ++totals.runs;
+      totals.resolves += record.resolves;
+      totals.solverIterations += record.solverIterations;
+      totals.runWallSeconds += record.wallSeconds;
+      totals.maxRunWallSeconds = std::max(totals.maxRunWallSeconds, record.wallSeconds);
+      totals.solveSeconds += record.solveSeconds;
+      totals.campaignWallSeconds = secondsSince(startedAt_);
+    }
     ++progress_.completed;
     if (runSeconds > progress_.slowestRunSeconds) {
       progress_.slowestRunSeconds = runSeconds;
@@ -121,7 +143,7 @@ ResultStore executeSerial(const std::vector<CampaignEntry>& entries,
     double runSeconds = 0.0;
     const auto record = timedRunOnce(entries[planned.configIndex], planned, runSeconds);
     store.add(makeRow(entries[planned.configIndex], planned, record, annotate));
-    tracker.committed(planned, runSeconds);
+    tracker.committed(planned, record, runSeconds);
   }
   return store;
 }
@@ -189,7 +211,7 @@ ResultStore executeParallel(const std::vector<CampaignEntry>& entries,
       lock.unlock();
       try {
         store.add(makeRow(entries[plan[i].configIndex], plan[i], slot.record, annotate));
-        tracker.committed(plan[i], slot.runSeconds);
+        tracker.committed(plan[i], slot.record, slot.runSeconds);
       } catch (...) {
         commitError = std::current_exception();
         failed.store(true, std::memory_order_relaxed);

@@ -43,6 +43,23 @@ struct CampaignProgress {
 /// never concurrently; the final call (completed == total) always fires.
 using ProgressFn = std::function<void(const CampaignProgress&)>;
 
+/// Aggregate profiling counters of a whole campaign, accumulated in commit
+/// order (so the totals are independent of --jobs, except for the wall-clock
+/// fields, which measure the host).
+struct CampaignTotals {
+  std::size_t runs = 0;
+  /// Sum of per-run solver resolves / iterations.
+  std::size_t resolves = 0;
+  std::size_t solverIterations = 0;
+  /// Sum and max of per-run wall time (sum > campaign wall when parallel).
+  double runWallSeconds = 0.0;
+  double maxRunWallSeconds = 0.0;
+  /// Sum of wall time inside the rate solver (0 unless runs profiled).
+  double solveSeconds = 0.0;
+  /// End-to-end wall time of executeCampaign.
+  double campaignWallSeconds = 0.0;
+};
+
 /// Execution knobs threaded from --jobs / BEESIM_JOBS.
 struct ExecutorOptions {
   /// Worker threads: 1 = the exact legacy serial path (no pool, no buffering),
@@ -52,6 +69,9 @@ struct ExecutorOptions {
   ProgressFn onProgress;
   /// Minimum wall-clock spacing between onProgress calls.
   double progressIntervalSeconds = 0.5;
+  /// When non-null, filled with the campaign's aggregate profiling counters
+  /// (overwritten, not accumulated across campaigns).
+  CampaignTotals* totals = nullptr;
 };
 
 /// Standard reporter: one continuously-rewritten status line on stderr with

@@ -1,17 +1,48 @@
 #include "harness/run.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <optional>
 #include <utility>
 
 #include "beegfs/deployment.hpp"
 #include "beegfs/filesystem.hpp"
 #include "sim/fluid.hpp"
+#include "sim/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace beesim::harness {
 
+namespace {
+
+/// Distill the tracer's per-resource integrals into the per-server split.
+ior::RunUtilization measureUtilization(const sim::FlowTracer& tracer,
+                                       const beegfs::Deployment& deployment,
+                                       const ior::IorResult& result) {
+  ior::RunUtilization util;
+  util.active = true;
+  const std::size_t hosts = deployment.cluster().hosts.size();
+  const util::Seconds span = result.end - result.start;
+  double sum = 0.0;
+  double peak = 0.0;
+  for (std::size_t h = 0; h < hosts; ++h) {
+    const auto link = deployment.serverNicResource(h);
+    const double mib = tracer.resourceMiB(link);
+    util.serverMiB.push_back(mib);
+    util.serverBusyFrac.push_back(span > 0.0 ? tracer.resourceBusyTime(link) / span : 0.0);
+    sum += mib;
+    peak = std::max(peak, mib);
+  }
+  util.linkImbalance =
+      sum > 0.0 ? peak * static_cast<double>(hosts) / sum : 0.0;
+  return util;
+}
+
+}  // namespace
+
 RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
+  const auto wallStart = std::chrono::steady_clock::now();
   util::Rng rng(seed);
 
   beegfs::EnvironmentFactors env;
@@ -21,6 +52,13 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
   sim::FluidSimulator fluid;
   beegfs::Deployment deployment(fluid, config.cluster, config.fs, rng.split(), env);
   beegfs::FileSystem fs(deployment, rng.split());
+
+  // Observability attaches *after* the system is built: the tracer composes
+  // through addObserver and only reads events, so traced runs stay bitwise
+  // identical to untraced ones (no extra rng splits, same event order).
+  std::optional<sim::FlowTracer> tracer;
+  if (config.observe.utilization) tracer.emplace(fluid);
+  if (config.observe.profile) fluid.setProfiling(true);
 
   RunRecord record;
   record.seed = seed;
@@ -73,6 +111,12 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
     // its totals equal this run's delta.
     record.ior.mirror = fs.mirrorStats();
   }
+  if (tracer) record.ior.util = measureUtilization(*tracer, deployment, record.ior);
+  record.resolves = fluid.resolveCount();
+  record.solverIterations = fluid.solverIterations();
+  record.solveSeconds = fluid.solveSeconds();
+  record.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
   return record;
 }
 

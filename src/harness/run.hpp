@@ -27,6 +27,19 @@ struct NoiseSpec {
   double storageSigmaLog = 0.04;
 };
 
+/// Per-run observability switches.  Both default off: a run with the
+/// defaults attaches no observer and never calls the host clock, so the
+/// fluid core's hot path is untouched (and campaign CSVs keep their exact
+/// legacy bytes).
+struct ObservabilityOptions {
+  /// Attach a FlowTracer for the run's lifetime and fill
+  /// IorResult::util with the measured per-server traffic split.
+  bool utilization = false;
+  /// Measure solver wall time (FluidSimulator::setProfiling) and per-run
+  /// wall time into RunRecord.
+  bool profile = false;
+};
+
 /// Everything needed to execute one benchmark run.
 struct RunConfig {
   topo::ClusterConfig cluster;
@@ -44,6 +57,8 @@ struct RunConfig {
   /// identical to pre-fault-model builds (no extra rng splits, no watchdogs).
   /// Schedules with target/host failures require fs.faults.mode != kNone.
   faults::FaultPlan faults;
+  /// Run-level observability (utilization measurement, profiling).
+  ObservabilityOptions observe;
 };
 
 struct RunRecord {
@@ -58,6 +73,13 @@ struct RunRecord {
   bool mirrorActive = false;
   /// What the injector fired (zeroed when !faultsActive).
   faults::InjectorStats injected;
+  /// Solver work done by this run (always filled; the counters are free).
+  std::size_t resolves = 0;
+  std::size_t solverIterations = 0;
+  /// Host wall-clock cost of the run; solveSeconds stays 0 unless
+  /// observe.profile is on (the solver never reads the clock otherwise).
+  double wallSeconds = 0.0;
+  double solveSeconds = 0.0;
 };
 
 /// Execute one run to completion.  Deterministic given (config, seed).

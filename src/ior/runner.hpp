@@ -35,6 +35,20 @@ struct IorJob {
   void validate(std::size_t clusterNodes) const;
 };
 
+/// Per-resource utilization of one run, measured by a FlowTracer attached
+/// for the run's lifetime (harness::ObservabilityOptions::utilization).
+/// Server order follows the deployment's server hosts.
+struct RunUtilization {
+  /// MiB carried by each server's NIC link.
+  std::vector<double> serverMiB;
+  /// Fraction of the run's wall time each server link had traffic.
+  std::vector<double> serverBusyFrac;
+  /// max/mean over serverMiB: 1 = balanced, H = all through one of H links.
+  double linkImbalance = 0.0;
+  /// False when utilization measurement was off (the vectors are empty).
+  bool active = false;
+};
+
 struct IorResult {
   /// Job start (virtual time when the run was launched).
   util::Seconds start = 0.0;
@@ -63,6 +77,9 @@ struct IorResult {
   /// degraded mode with no surviving target).  `bandwidth` is reported as 0
   /// for failed runs -- the planned bytes never fully landed.
   bool failed = false;
+  /// Measured per-server traffic split (filled by harness::runOnce when
+  /// utilization observability is enabled; inactive otherwise).
+  RunUtilization util;
 };
 
 /// Launch an IOR run at virtual time `startAt`; `done` fires when the last

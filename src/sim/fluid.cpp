@@ -1,9 +1,11 @@
 #include "sim/fluid.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 
+#include "sim/observer_hub.hpp"
 #include "util/error.hpp"
 
 namespace beesim::sim {
@@ -105,6 +107,41 @@ FluidSimulator::FluidSimulator() {
   const char* check = std::getenv("BEESIM_SOLVER_CHECK");
   if (check != nullptr && *check != '\0' && std::string_view(check) != "0") {
     solverCheck_ = true;
+  }
+}
+
+FluidSimulator::~FluidSimulator() = default;  // out of line for the hub's type
+
+void FluidSimulator::addObserver(FluidObserver* observer) {
+  BEESIM_ASSERT(observer != nullptr, "addObserver needs an observer");
+  if (observer_ == nullptr) {
+    observer_ = observer;
+    return;
+  }
+  if (observer_ == observer) return;
+  if (hub_ != nullptr && observer_ == hub_.get()) {
+    hub_->add(observer);
+    return;
+  }
+  // A second distinct observer: promote the slot to the hub, preserving the
+  // currently installed one ahead of the newcomer.  A stale hub from an
+  // earlier episode (left behind by setObserver clobbering it) is reset.
+  if (hub_ == nullptr) hub_ = std::make_unique<ObserverHub>();
+  hub_->clear();
+  hub_->add(observer_);
+  hub_->add(observer);
+  observer_ = hub_.get();
+}
+
+void FluidSimulator::removeObserver(FluidObserver* observer) {
+  if (observer == nullptr) return;
+  if (observer_ == observer) {
+    observer_ = nullptr;
+    return;
+  }
+  if (hub_ != nullptr && observer_ == hub_.get()) {
+    hub_->remove(observer);
+    if (hub_->empty()) observer_ = nullptr;
   }
 }
 
@@ -440,6 +477,24 @@ void FluidSimulator::settleComponent(std::uint32_t root, SimTime t) {
 }
 
 void FluidSimulator::resolveNow() {
+  // RAII timer so every exit path (including the drained early-return) banks
+  // its wall time; the clock is only touched when profiling is on.
+  struct ProfileScope {
+    bool on;
+    double& sink;
+    std::chrono::steady_clock::time_point start;
+    explicit ProfileScope(bool enabled, double& total)
+        : on(enabled), sink(total),
+          start(enabled ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{}) {}
+    ~ProfileScope() {
+      if (on) {
+        sink += std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                    .count();
+      }
+    }
+  } profile(profiling_, solveSeconds_);
+
   const SimTime t = engine_.now();
   ++resolveCount_;
 

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -132,9 +133,12 @@ class FluidObserver {
   virtual void onFlowCancelled(const FlowStats& stats) { (void)stats; }
 };
 
+class ObserverHub;
+
 class FluidSimulator {
  public:
   FluidSimulator();
+  ~FluidSimulator();
 
   FluidSimulator(const FluidSimulator&) = delete;
   FluidSimulator& operator=(const FluidSimulator&) = delete;
@@ -181,9 +185,25 @@ class FluidSimulator {
   /// time (e.g. after an external capacity change).
   void invalidateCapacities();
 
-  /// Attach an observer (nullptr detaches).  At most one; the caller keeps
-  /// ownership and must outlive the simulation.
+  /// Attach an observer (nullptr detaches).  A single slot with clobbering
+  /// semantics -- prefer addObserver/removeObserver, which compose.  The
+  /// caller keeps ownership and must outlive the simulation.
   void setObserver(FluidObserver* observer) { observer_ = observer; }
+
+  /// Attach an observer *alongside* any already installed: the first
+  /// observer occupies the slot directly (zero fan-out overhead); a second
+  /// one promotes the slot to an internally-owned ObserverHub that fans
+  /// every event out in attachment order.  The caller keeps ownership.
+  void addObserver(FluidObserver* observer);
+
+  /// Detach an observer attached via addObserver (or occupying the slot
+  /// directly).  No-op when it is not attached -- in particular it never
+  /// detaches a *different* observer installed after this one, which is the
+  /// contract observer destructors rely on.
+  void removeObserver(FluidObserver* observer);
+
+  /// The currently dispatched observer (the hub once promoted).
+  const FluidObserver* observer() const { return observer_; }
 
   /// Enable/disable the differential solver check (also via the
   /// BEESIM_SOLVER_CHECK environment variable): every resolve additionally
@@ -200,6 +220,12 @@ class FluidSimulator {
   std::size_t resolveCount() const { return resolveCount_; }
   std::size_t solverIterations() const { return solverIterations_; }
   std::size_t lastSolvedFlows() const { return lastSolvedFlows_; }
+
+  /// Enable wall-clock profiling of resolves.  Off by default so the hot
+  /// path never calls the clock; when on, solveSeconds() accumulates the
+  /// host wall time spent inside resolveNow().
+  void setProfiling(bool enabled) { profiling_ = enabled; }
+  double solveSeconds() const { return solveSeconds_; }
 
  private:
   static constexpr std::uint32_t kNone = 0xffffffffu;
@@ -309,10 +335,13 @@ class FluidSimulator {
   Seconds resolveInterval_ = 0.0;
   std::optional<EventId> wakeup_;
   FluidObserver* observer_ = nullptr;
+  std::unique_ptr<ObserverHub> hub_;  // owned fan-out, created on demand
 
   std::size_t resolveCount_ = 0;
   std::size_t solverIterations_ = 0;
   std::size_t lastSolvedFlows_ = 0;
+  bool profiling_ = false;
+  double solveSeconds_ = 0.0;
 };
 
 }  // namespace beesim::sim

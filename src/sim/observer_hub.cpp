@@ -1,0 +1,65 @@
+#include "sim/observer_hub.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace beesim::sim {
+
+void ObserverHub::add(FluidObserver* observer) {
+  BEESIM_ASSERT(observer != nullptr, "ObserverHub::add needs an observer");
+  BEESIM_ASSERT(observer != this, "ObserverHub cannot observe itself");
+  if (contains(observer)) return;
+  observers_.push_back(observer);
+}
+
+void ObserverHub::remove(FluidObserver* observer) {
+  const auto it = std::find(observers_.begin(), observers_.end(), observer);
+  if (it == observers_.end()) return;
+  // When a removal happens from inside a dispatch (an observer detaching
+  // itself, typically its destructor), erasing an element at or before the
+  // cursor shifts the not-yet-visited observers one slot left; pull the
+  // cursor back so none of them is skipped for the current event.
+  const auto index = static_cast<std::size_t>(it - observers_.begin());
+  if (index <= dispatchIndex_) --dispatchIndex_;
+  observers_.erase(it);
+}
+
+bool ObserverHub::contains(const FluidObserver* observer) const {
+  return std::find(observers_.begin(), observers_.end(), observer) != observers_.end();
+}
+
+// The dispatch loops walk via the member cursor and re-check size() every
+// step, so observers may remove themselves (or earlier observers) from
+// inside a callback without anyone being skipped or the loop walking off
+// the end.  Callbacks never nest (the simulator dispatches from a single
+// event loop), so one cursor suffices.
+
+void ObserverHub::onFlowStarted(FlowId id, std::span<const ResourceIndex> path,
+                                util::Bytes bytes, SimTime at) {
+  for (dispatchIndex_ = 0; dispatchIndex_ < observers_.size(); ++dispatchIndex_) {
+    observers_[dispatchIndex_]->onFlowStarted(id, path, bytes, at);
+  }
+}
+
+void ObserverHub::onRatesSolved(SimTime at, std::span<const FlowId> ids,
+                                std::span<const util::MiBps> rates,
+                                std::size_t activeFlows) {
+  for (dispatchIndex_ = 0; dispatchIndex_ < observers_.size(); ++dispatchIndex_) {
+    observers_[dispatchIndex_]->onRatesSolved(at, ids, rates, activeFlows);
+  }
+}
+
+void ObserverHub::onFlowCompleted(const FlowStats& stats) {
+  for (dispatchIndex_ = 0; dispatchIndex_ < observers_.size(); ++dispatchIndex_) {
+    observers_[dispatchIndex_]->onFlowCompleted(stats);
+  }
+}
+
+void ObserverHub::onFlowCancelled(const FlowStats& stats) {
+  for (dispatchIndex_ = 0; dispatchIndex_ < observers_.size(); ++dispatchIndex_) {
+    observers_[dispatchIndex_]->onFlowCancelled(stats);
+  }
+}
+
+}  // namespace beesim::sim

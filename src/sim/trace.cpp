@@ -4,39 +4,88 @@
 #include <fstream>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace beesim::sim {
 
+namespace {
+// A resource is considered busy above this aggregate rate (MiB/s).  The
+// incremental rate bookkeeping adds/subtracts per-flow rates, so exact
+// zeros are restored whenever a resource's crossing-flow count hits zero;
+// the epsilon only guards stalled-but-populated resources against
+// floating-point residue being counted as busy time.
+constexpr double kBusyEpsMiBps = 1e-9;
+}  // namespace
+
 FlowTracer::FlowTracer(FluidSimulator& fluid) : fluid_(fluid) {
-  fluid_.setObserver(this);
+  fluid_.addObserver(this);
   lastBankTime_ = fluid_.now();
+  // Size the accounting from the deployment's resource inventory up front so
+  // idle resources get zero rows in resourceUsage() (resources added after
+  // attach grow the vectors on first use).
+  ensureResourceCapacity(fluid_.resourceCount());
 }
 
-FlowTracer::~FlowTracer() { fluid_.setObserver(nullptr); }
+FlowTracer::~FlowTracer() { fluid_.removeObserver(this); }
+
+void FlowTracer::ensureResourceCapacity(std::size_t count) {
+  if (count <= resourceMiB_.size()) return;
+  resourceMiB_.resize(count, 0.0);
+  resourceBusy_.resize(count, 0.0);
+  resourcePeak_.resize(count, 0.0);
+  resourceRate_.resize(count, 0.0);
+  resourceFlows_.resize(count, 0);
+}
+
+void FlowTracer::setMetricsInterval(util::Seconds dt) {
+  metricsDt_ = dt;
+  if (dt > 0.0) nextSampleTime_ = lastBankTime_ + dt;
+}
+
+void FlowTracer::trackLink(ResourceIndex link, std::string name) {
+  ensureResourceCapacity(static_cast<std::size_t>(link.value) + 1);
+  trackedLinks_.push_back(link);
+  linkNames_.push_back(std::move(name));
+}
+
+void FlowTracer::recordSample(SimTime at) {
+  MetricsSample sample;
+  sample.time = at;
+  sample.activeFlows = live_.size();
+  sample.aggregateRate = totalRate_;
+  sample.linkRates.reserve(trackedLinks_.size());
+  double sum = 0.0;
+  double peak = 0.0;
+  for (const auto link : trackedLinks_) {
+    const double rate = resourceRate_[link.value];
+    sample.linkRates.push_back(rate);
+    sum += rate;
+    peak = std::max(peak, rate);
+  }
+  sample.linkImbalance =
+      sum > 0.0 ? peak * static_cast<double>(trackedLinks_.size()) / sum : 0.0;
+  samples_.push_back(std::move(sample));
+}
 
 void FlowTracer::bankInterval(SimTime until) {
+  // Rates are piecewise-constant: the stored per-resource rates hold over
+  // (lastBankTime_, until], so samples due inside the window read them
+  // directly before the caller applies the event's changes.
+  if (metricsDt_ > 0.0) {
+    while (nextSampleTime_ <= until) {
+      recordSample(nextSampleTime_);
+      nextSampleTime_ += metricsDt_;
+    }
+  }
   const double dt = until - lastBankTime_;
-  if (dt > 0.0 && !live_.empty()) {
-    // Per-resource aggregate rate over the elapsed interval.
-    std::vector<util::MiBps> rate;
-    for (const auto& [id, flow] : live_) {
-      (void)id;
-      for (const auto r : flow.path) {
-        if (r.value >= rate.size()) rate.resize(r.value + 1, 0.0);
-        rate[r.value] += flow.rate;
-      }
-    }
-    if (rate.size() > resourceMiB_.size()) {
-      resourceMiB_.resize(rate.size(), 0.0);
-      resourceBusy_.resize(rate.size(), 0.0);
-      resourcePeak_.resize(rate.size(), 0.0);
-    }
-    for (std::size_t r = 0; r < rate.size(); ++r) {
-      if (rate[r] > 0.0) {
-        resourceMiB_[r] += rate[r] * dt;
+  if (dt > 0.0) {
+    for (std::size_t r = 0; r < resourceRate_.size(); ++r) {
+      const double rate = resourceRate_[r];
+      if (rate > kBusyEpsMiBps) {
+        resourceMiB_[r] += rate * dt;
         resourceBusy_[r] += dt;
-        resourcePeak_[r] = std::max(resourcePeak_[r], rate[r]);
+        resourcePeak_[r] = std::max(resourcePeak_[r], rate);
       }
     }
   }
@@ -46,6 +95,10 @@ void FlowTracer::bankInterval(SimTime until) {
 void FlowTracer::onFlowStarted(FlowId id, std::span<const ResourceIndex> path,
                                util::Bytes bytes, SimTime at) {
   bankInterval(at);
+  std::uint32_t maxIndex = 0;
+  for (const auto r : path) maxIndex = std::max(maxIndex, r.value);
+  ensureResourceCapacity(static_cast<std::size_t>(maxIndex) + 1);
+  for (const auto r : path) ++resourceFlows_[r.value];
   live_[id.value] = LiveFlow{{path.begin(), path.end()}, 0.0};
   TraceEvent event;
   event.kind = TraceEvent::Kind::kStart;
@@ -60,27 +113,43 @@ void FlowTracer::onRatesSolved(SimTime at, std::span<const FlowId> ids,
                                std::size_t activeFlows) {
   bankInterval(at);
   // The solver reports only the re-solved components; flows elsewhere keep
-  // their previous rate, so the total is summed over all live flows.
+  // their previous rate, so the per-resource and total aggregates are
+  // maintained by applying each reported flow's rate delta along its path.
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const auto it = live_.find(ids[i].value);
-    if (it != live_.end()) it->second.rate = rates[i];
-  }
-  double total = 0.0;
-  for (const auto& [id, flow] : live_) {
-    (void)id;
-    total += flow.rate;
+    if (it == live_.end()) continue;
+    const double delta = rates[i] - it->second.rate;
+    if (delta != 0.0) {
+      for (const auto r : it->second.path) resourceRate_[r.value] += delta;
+      totalRate_ += delta;
+      it->second.rate = rates[i];
+    }
   }
   TraceEvent event;
   event.kind = TraceEvent::Kind::kRates;
   event.time = at;
   event.activeFlows = activeFlows;
-  event.totalRate = total;
+  event.totalRate = totalRate_;
   events_.push_back(event);
 }
 
+void FlowTracer::dropFlow(std::uint64_t id, SimTime at) {
+  bankInterval(at);
+  const auto it = live_.find(id);
+  if (it == live_.end()) return;
+  for (const auto r : it->second.path) {
+    resourceRate_[r.value] -= it->second.rate;
+    // Snap to exactly zero when the resource empties so +/- residue cannot
+    // accumulate into phantom busy time.
+    if (--resourceFlows_[r.value] == 0) resourceRate_[r.value] = 0.0;
+  }
+  totalRate_ -= it->second.rate;
+  live_.erase(it);
+  if (live_.empty()) totalRate_ = 0.0;
+}
+
 void FlowTracer::onFlowCompleted(const FlowStats& stats) {
-  bankInterval(stats.endTime);
-  live_.erase(stats.id.value);
+  dropFlow(stats.id.value, stats.endTime);
   TraceEvent event;
   event.kind = TraceEvent::Kind::kComplete;
   event.time = stats.endTime;
@@ -90,14 +159,33 @@ void FlowTracer::onFlowCompleted(const FlowStats& stats) {
   events_.push_back(event);
 }
 
+void FlowTracer::onFlowCancelled(const FlowStats& stats) {
+  dropFlow(stats.id.value, stats.endTime);
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kCancel;
+  event.time = stats.endTime;
+  event.flow = stats.id.value;
+  event.bytes = stats.bytes;  // bytes NOT transferred (see FluidObserver)
+  events_.push_back(event);
+}
+
 std::vector<ResourceUsage> FlowTracer::resourceUsage() const {
+  // Cover the simulator's full resource inventory: idle resources emit zero
+  // rows, so the report's length always matches resourceCount() and
+  // per-server aggregations can index it directly.
+  const std::size_t count = std::max(fluid_.resourceCount(), resourceMiB_.size());
   std::vector<ResourceUsage> usage;
-  for (std::size_t r = 0; r < resourceMiB_.size(); ++r) {
+  usage.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
     ResourceUsage u;
-    u.name = fluid_.resourceName(ResourceIndex{static_cast<std::uint32_t>(r)});
-    u.mib = resourceMiB_[r];
-    u.busyTime = resourceBusy_[r];
-    u.peakRate = resourcePeak_[r];
+    if (r < fluid_.resourceCount()) {
+      u.name = fluid_.resourceName(ResourceIndex{static_cast<std::uint32_t>(r)});
+    }
+    if (r < resourceMiB_.size()) {
+      u.mib = resourceMiB_[r];
+      u.busyTime = resourceBusy_[r];
+      u.peakRate = resourcePeak_[r];
+    }
     usage.push_back(std::move(u));
   }
   return usage;
@@ -106,6 +194,11 @@ std::vector<ResourceUsage> FlowTracer::resourceUsage() const {
 double FlowTracer::resourceMiB(ResourceIndex resource) const {
   if (resource.value >= resourceMiB_.size()) return 0.0;
   return resourceMiB_[resource.value];
+}
+
+util::Seconds FlowTracer::resourceBusyTime(ResourceIndex resource) const {
+  if (resource.value >= resourceBusy_.size()) return 0.0;
+  return resourceBusy_[resource.value];
 }
 
 std::string FlowTracer::toJsonl() const {
@@ -128,6 +221,11 @@ std::string FlowTracer::toJsonl() const {
                ",\"bytes\":" + std::to_string(event.bytes) +
                ",\"mean_mibps\":" + util::fmt(event.meanRate, 3) + "}\n";
         break;
+      case TraceEvent::Kind::kCancel:
+        out += "{\"ev\":\"cancel\",\"t\":" + util::fmt(event.time, 6) +
+               ",\"flow\":" + std::to_string(event.flow) +
+               ",\"bytes_left\":" + std::to_string(event.bytes) + "}\n";
+        break;
     }
   }
   return out;
@@ -138,6 +236,89 @@ void FlowTracer::writeJsonl(const std::filesystem::path& path) const {
   if (!out) throw util::IoError("cannot write trace file: " + path.string());
   out << toJsonl();
   if (!out) throw util::IoError("failed writing trace file: " + path.string());
+}
+
+std::string FlowTracer::toChromeTrace() const {
+  // Timestamps are microseconds (the Chrome trace unit) of *virtual* time.
+  const auto ts = [](SimTime t) { return util::fmt(t * 1e6, 3); };
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"beesim\"}}";
+  for (const auto& event : events_) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kStart:
+        out += ",\n{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"b\",\"id\":" +
+               std::to_string(event.flow) + ",\"pid\":1,\"tid\":1,\"ts\":" +
+               ts(event.time) + ",\"args\":{\"bytes\":" + std::to_string(event.bytes) +
+               "}}";
+        break;
+      case TraceEvent::Kind::kComplete:
+        out += ",\n{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"e\",\"id\":" +
+               std::to_string(event.flow) + ",\"pid\":1,\"tid\":1,\"ts\":" +
+               ts(event.time) + ",\"args\":{\"mean_mibps\":" +
+               util::fmt(event.meanRate, 3) + "}}";
+        break;
+      case TraceEvent::Kind::kCancel:
+        out += ",\n{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"e\",\"id\":" +
+               std::to_string(event.flow) + ",\"pid\":1,\"tid\":1,\"ts\":" +
+               ts(event.time) + ",\"args\":{\"cancelled\":true,\"bytes_left\":" +
+               std::to_string(event.bytes) + "}}";
+        break;
+      case TraceEvent::Kind::kRates:
+        out += ",\n{\"name\":\"aggregate_mibps\",\"ph\":\"C\",\"pid\":1,\"ts\":" +
+               ts(event.time) + ",\"args\":{\"mibps\":" + util::fmt(event.totalRate, 3) +
+               "}}";
+        out += ",\n{\"name\":\"active_flows\",\"ph\":\"C\",\"pid\":1,\"ts\":" +
+               ts(event.time) + ",\"args\":{\"flows\":" +
+               std::to_string(event.activeFlows) + "}}";
+        break;
+    }
+  }
+  // Tracked-link counter tracks from the metrics series (if sampling).
+  for (const auto& sample : samples_) {
+    if (!sample.linkRates.empty()) {
+      out += ",\n{\"name\":\"link_mibps\",\"ph\":\"C\",\"pid\":1,\"ts\":" +
+             ts(sample.time) + ",\"args\":{";
+      for (std::size_t i = 0; i < sample.linkRates.size(); ++i) {
+        if (i > 0) out += ",";
+        out += util::JsonValue(linkNames_[i]).dump() + ":" +
+               util::fmt(sample.linkRates[i], 3);
+      }
+      out += "}}";
+      out += ",\n{\"name\":\"link_imbalance\",\"ph\":\"C\",\"pid\":1,\"ts\":" +
+             ts(sample.time) + ",\"args\":{\"imbalance\":" +
+             util::fmt(sample.linkImbalance, 4) + "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void FlowTracer::writeChromeTrace(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot write trace file: " + path.string());
+  out << toChromeTrace();
+  if (!out) throw util::IoError("failed writing trace file: " + path.string());
+}
+
+std::string FlowTracer::metricsCsv() const {
+  std::string out = "t,active_flows,aggregate_mibps,link_imbalance";
+  for (const auto& name : linkNames_) out += "," + name;
+  out += "\n";
+  for (const auto& sample : samples_) {
+    out += util::fmt(sample.time, 6) + "," + std::to_string(sample.activeFlows) + "," +
+           util::fmt(sample.aggregateRate, 3) + "," + util::fmt(sample.linkImbalance, 4);
+    for (const auto rate : sample.linkRates) out += "," + util::fmt(rate, 3);
+    out += "\n";
+  }
+  return out;
+}
+
+void FlowTracer::writeMetricsCsv(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot write metrics file: " + path.string());
+  out << metricsCsv();
+  if (!out) throw util::IoError("failed writing metrics file: " + path.string());
 }
 
 }  // namespace beesim::sim

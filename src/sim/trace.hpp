@@ -1,17 +1,27 @@
-// Flow tracing and resource utilization accounting.
+// Flow tracing, resource utilization accounting and metrics export -- the
+// run-level observability layer over the fluid core.
 //
-// A FlowTracer observes a FluidSimulator and produces two artefacts:
+// A FlowTracer observes a FluidSimulator and produces four artefacts:
 //
-//   * an event log (flow start / rate change / completion) exportable as
-//     JSONL -- one JSON object per line, loadable into pandas or jq for
-//     post-mortem timeline analysis of a run;
+//   * an event log (flow start / rate change / completion / cancellation)
+//     exportable as JSONL -- one JSON object per line, loadable into pandas
+//     or jq for post-mortem timeline analysis of a run;
 //   * per-resource utilization: bytes carried and busy time, integrated
 //     from the piecewise-constant rate vector.  Because every flow crosses
 //     its bottleneck resource, these integrals give exact link/OST/OSS
 //     traffic decompositions ("how much of the run went through server 1's
-//     link?") that the bandwidth summary alone cannot answer.
+//     link?") that the bandwidth summary alone cannot answer;
+//   * an optional virtual-time metrics series (setMetricsInterval): at every
+//     multiple of dt the tracer samples the aggregate rate, each tracked
+//     link's rate and a live link-imbalance index -- the time-resolved view
+//     of the paper's (min,max) balance story;
+//   * a Chrome-trace/Perfetto export (toChromeTrace): flows as async b/e
+//     events plus counter tracks, loadable into chrome://tracing or
+//     https://ui.perfetto.dev.
 //
 // The tracer is exact, not sampled: it banks rate * dt on every re-solve.
+// It attaches through FluidSimulator::addObserver, so it composes with any
+// other observer instead of clobbering the slot (see sim/observer_hub.hpp).
 #pragma once
 
 #include <filesystem>
@@ -26,11 +36,11 @@ namespace beesim::sim {
 
 /// One recorded event (kept binary-compact; rendered to JSON on export).
 struct TraceEvent {
-  enum class Kind { kStart, kRates, kComplete };
+  enum class Kind { kStart, kRates, kComplete, kCancel };
   Kind kind = Kind::kStart;
   SimTime time = 0.0;
-  std::uint64_t flow = 0;      // kStart/kComplete
-  util::Bytes bytes = 0;       // kStart: size; kComplete: moved
+  std::uint64_t flow = 0;      // kStart/kComplete/kCancel
+  util::Bytes bytes = 0;       // kStart: size; kComplete: moved; kCancel: left
   util::MiBps meanRate = 0.0;  // kComplete
   std::size_t activeFlows = 0; // kRates
   util::MiBps totalRate = 0.0; // kRates: sum over flows
@@ -47,9 +57,23 @@ struct ResourceUsage {
   util::MiBps peakRate = 0.0;
 };
 
+/// One virtual-time sample of the metrics series (see setMetricsInterval).
+struct MetricsSample {
+  SimTime time = 0.0;
+  std::size_t activeFlows = 0;
+  /// Sum of all live flows' current rates (MiB/s).
+  util::MiBps aggregateRate = 0.0;
+  /// Current aggregate rate through each tracked link (trackLink order).
+  std::vector<util::MiBps> linkRates;
+  /// max/mean over the tracked links' rates: 1 = perfectly balanced,
+  /// H = everything through one of H links, 0 = all links idle.
+  double linkImbalance = 0.0;
+};
+
 class FlowTracer final : public FluidObserver {
  public:
-  /// Attaches to `fluid` (calls setObserver(this)); detaches on destruction.
+  /// Attaches to `fluid` via addObserver (composes with other observers);
+  /// detaches itself -- and only itself -- on destruction.
   explicit FlowTracer(FluidSimulator& fluid);
   ~FlowTracer() override;
 
@@ -62,24 +86,63 @@ class FlowTracer final : public FluidObserver {
   void onRatesSolved(SimTime at, std::span<const FlowId> ids,
                      std::span<const util::MiBps> rates, std::size_t activeFlows) override;
   void onFlowCompleted(const FlowStats& stats) override;
+  void onFlowCancelled(const FlowStats& stats) override;
 
   const std::vector<TraceEvent>& events() const { return events_; }
 
-  /// Per-resource usage, in resource-index order.
+  // -- Metrics series ----------------------------------------------------
+
+  /// Sample the metrics series every `dt` virtual seconds (first sample at
+  /// attach time + dt).  <= 0 disables (the default).
+  void setMetricsInterval(util::Seconds dt);
+
+  /// Add a link (any resource) to the per-sample rate breakdown and the
+  /// imbalance index; `name` labels its CSV column / counter track.
+  void trackLink(ResourceIndex link, std::string name);
+
+  const std::vector<MetricsSample>& samples() const { return samples_; }
+  const std::vector<std::string>& trackedLinkNames() const { return linkNames_; }
+
+  /// Metrics series as CSV: t,active_flows,aggregate_mibps,link_imbalance
+  /// plus one column per tracked link.
+  std::string metricsCsv() const;
+  void writeMetricsCsv(const std::filesystem::path& path) const;
+
+  // -- Utilization -------------------------------------------------------
+
+  /// Per-resource usage, in resource-index order.  Covers *every* resource
+  /// of the simulator -- idle ones report zero rows -- so per-server
+  /// aggregations can index it by deployment resource.
   std::vector<ResourceUsage> resourceUsage() const;
 
   /// Total MiB carried by one resource.
   double resourceMiB(ResourceIndex resource) const;
 
+  /// Virtual time during which `resource` had at least one active flow.
+  util::Seconds resourceBusyTime(ResourceIndex resource) const;
+
+  // -- Exports -----------------------------------------------------------
+
   /// Export the event log as JSONL.  Each line is one event object:
   ///   {"ev":"start","t":...,"flow":...,"bytes":...}
   ///   {"ev":"rates","t":...,"active":...,"total_mibps":...}
   ///   {"ev":"complete","t":...,"flow":...,"bytes":...,"mean_mibps":...}
+  ///   {"ev":"cancel","t":...,"flow":...,"bytes_left":...}
   std::string toJsonl() const;
   void writeJsonl(const std::filesystem::path& path) const;
 
+  /// Export as a Chrome-trace JSON object (chrome://tracing, Perfetto):
+  /// flows as async "b"/"e" events (id = flow id), aggregate rate, active
+  /// flows and tracked-link rates as counter tracks.  Timestamps are in
+  /// microseconds of virtual time.
+  std::string toChromeTrace() const;
+  void writeChromeTrace(const std::filesystem::path& path) const;
+
  private:
+  void ensureResourceCapacity(std::size_t count);
   void bankInterval(SimTime until);
+  void recordSample(SimTime at);
+  void dropFlow(std::uint64_t id, SimTime at);
 
   FluidSimulator& fluid_;
   std::vector<TraceEvent> events_;
@@ -89,10 +152,25 @@ class FlowTracer final : public FluidObserver {
     util::MiBps rate = 0.0;
   };
   std::map<std::uint64_t, LiveFlow> live_;
+
+  // Per-resource accounting, sized from fluid_.resourceCount() at attach
+  // time (and grown if resources are added later).  resourceRate_ and
+  // resourceFlows_ are maintained incrementally per event, so banking an
+  // interval costs O(resources) with zero allocations.
   std::vector<double> resourceMiB_;
   std::vector<util::Seconds> resourceBusy_;
   std::vector<util::MiBps> resourcePeak_;
+  std::vector<util::MiBps> resourceRate_;
+  std::vector<std::uint32_t> resourceFlows_;
+  util::MiBps totalRate_ = 0.0;
   SimTime lastBankTime_ = 0.0;
+
+  // Metrics series state.
+  util::Seconds metricsDt_ = 0.0;
+  SimTime nextSampleTime_ = 0.0;
+  std::vector<MetricsSample> samples_;
+  std::vector<ResourceIndex> trackedLinks_;
+  std::vector<std::string> linkNames_;
 };
 
 }  // namespace beesim::sim

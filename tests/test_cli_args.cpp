@@ -61,5 +61,36 @@ TEST(Args, GetDoubleParses) {
   EXPECT_DOUBLE_EQ(args.getDouble("other", 1.0), 1.0);
 }
 
+TEST(Args, GetDoubleRejectsNonFinite) {
+  // std::stod parses "nan"/"inf", and NaN then slips past every `x <= 0`
+  // guard downstream (NaN comparisons are false) -- reject at the parser.
+  for (const std::string bad : {"nan", "NaN", "inf", "-inf", "infinity", "-nan"}) {
+    const Args args({"--mttf", bad});
+    EXPECT_THROW(args.getDouble("mttf", 0.0), util::ConfigError) << bad;
+  }
+  // Plain negatives stay parseable (callers own the sign checks).
+  const Args negative({"--x", "-2.5"});
+  EXPECT_DOUBLE_EQ(negative.getDouble("x", 0.0), -2.5);
+}
+
+TEST(Args, GetBoolAcceptsCanonicalSpellings) {
+  const Args args({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0", "--f=no"});
+  EXPECT_TRUE(args.getBool("a"));
+  EXPECT_TRUE(args.getBool("b"));
+  EXPECT_TRUE(args.getBool("c"));
+  EXPECT_FALSE(args.getBool("d"));
+  EXPECT_FALSE(args.getBool("e"));
+  EXPECT_FALSE(args.getBool("f"));
+  EXPECT_FALSE(args.getBool("absent"));
+}
+
+TEST(Args, GetBoolRejectsUnrecognizedValues) {
+  // --mirror=tru used to silently read as false (mirroring off, no error).
+  for (const std::string bad : {"tru", "TRUE", "on", "off", "2", ""}) {
+    const Args args({"--mirror=" + bad});
+    EXPECT_THROW(args.getBool("mirror"), util::ConfigError) << "'" << bad << "'";
+  }
+}
+
 }  // namespace
 }  // namespace beesim::cli

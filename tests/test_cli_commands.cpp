@@ -141,6 +141,58 @@ TEST(Cli, RejectsNonPositiveFaultAndMirrorDurations) {
   EXPECT_EQ(with({}).code, 0);
 }
 
+TEST(Cli, RejectsNonFiniteDurations) {
+  // Satellite bugfix: "nan"/"inf" parse as doubles, and NaN then slips past
+  // the `value <= 0` guards above (NaN <= 0 is false) -- e.g. --mttf nan
+  // used to arm a stochastic fault generator with a NaN MTTF.
+  const auto base = std::vector<std::string>{"run", "--cluster", "plafrim1", "--nodes",
+                                             "2",   "--reps",    "1",        "--total",
+                                             "1GiB"};
+  const auto with = [&](std::initializer_list<std::string> extra) {
+    auto argv = base;
+    argv.insert(argv.end(), extra);
+    return run(argv);
+  };
+  for (const std::string flag : {"--io-timeout", "--mttf", "--mttr", "--resync-rate"}) {
+    for (const std::string value : {"nan", "inf", "-inf"}) {
+      const auto result = with({flag, value});
+      EXPECT_EQ(result.code, 1) << flag << " " << value;
+      EXPECT_NE(result.err.find("is not a finite number"), std::string::npos)
+          << flag << " " << value << ": " << result.err;
+    }
+  }
+}
+
+TEST(Cli, RejectsMistypedBooleanValue) {
+  // Satellite bugfix: --mirror=tru used to silently disable mirroring.
+  const auto result = run({"run", "--cluster", "plafrim1", "--nodes", "2", "--reps", "1",
+                           "--total", "1GiB", "--mirror=tru"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("is not a boolean"), std::string::npos) << result.err;
+}
+
+TEST(Cli, RunExportsChromeTraceAndMetrics) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto tracePath = (dir / "beesim_cli_trace.json").string();
+  const auto metricsPath = (dir / "beesim_cli_metrics.csv").string();
+  const auto result = run({"run", "--cluster", "plafrim1", "--nodes", "2", "--reps", "1",
+                           "--total", "1GiB", "--trace-out", tracePath, "--metrics-out",
+                           metricsPath, "--metrics-dt", "0.05"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("Chrome trace"), std::string::npos);
+  EXPECT_NE(result.out.find("link_imbalance"), std::string::npos);
+  EXPECT_GT(std::filesystem::file_size(tracePath), 0u);
+  EXPECT_GT(std::filesystem::file_size(metricsPath), 0u);
+  std::filesystem::remove(tracePath);
+  std::filesystem::remove(metricsPath);
+
+  const auto bad = run({"run", "--cluster", "plafrim1", "--nodes", "2", "--reps", "1",
+                        "--total", "1GiB", "--metrics-out", metricsPath, "--metrics-dt",
+                        "0"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("--metrics-dt must be > 0"), std::string::npos) << bad.err;
+}
+
 TEST(Cli, ErrorsAreReportedNotThrown) {
   EXPECT_EQ(run({"run", "--stripe", "banana"}).code, 1);
   EXPECT_EQ(run({"describe", "--cluster", "/no/such/file.json"}).code, 1);

@@ -102,6 +102,26 @@ TEST(Trace, EndToEndOstTrafficDecomposition) {
               totalMiB * 1e-6);
 }
 
+TEST(Trace, RecordsCancelledFlows) {
+  FluidSimulator fluid;
+  FlowTracer tracer(fluid);
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(100.0)});
+  const auto id = fluid.startFlow(FlowSpec{.path = {link}, .bytes = 100_MiB,
+                                           .queueWeight = 1.0, .rateCap = 0.0,
+                                           .onComplete = nullptr});
+  fluid.engine().schedule(0.5, [&] { fluid.cancelFlow(id); });
+  fluid.run();
+
+  ASSERT_FALSE(tracer.events().empty());
+  const auto& last = tracer.events().back();
+  EXPECT_EQ(last.kind, TraceEvent::Kind::kCancel);
+  EXPECT_EQ(last.flow, id.value);
+  EXPECT_EQ(last.bytes, 50_MiB);  // bytes left at cancel
+  // Progress up to the cancel is banked; nothing after.
+  EXPECT_NEAR(tracer.resourceMiB(link), 50.0, 1e-6);
+  EXPECT_NE(tracer.toJsonl().find("\"ev\":\"cancel\""), std::string::npos);
+}
+
 TEST(Trace, WriteJsonlToFile) {
   FluidSimulator fluid;
   FlowTracer tracer(fluid);
