@@ -6,6 +6,7 @@
 // balanced (2,2) choice would reach it (Section IV-C1, Lesson #4).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -15,6 +16,13 @@
 
 namespace beesim::beegfs {
 
+class ManagementService;
+
+/// Eligibility predicate over flat target indices.  The filesystem passes
+/// the mgmtd online-state here so choosers never pick a dead target; an
+/// empty (default-constructed) filter means "every target is eligible".
+using TargetFilter = std::function<bool(std::size_t flatIndex)>;
+
 /// Strategy interface.  Implementations may keep state across create()
 /// calls (the round-robin pointer does).
 class TargetChooser {
@@ -23,9 +31,20 @@ class TargetChooser {
 
   /// Pick `count` distinct flat target indices for a new file.
   /// Preconditions: 1 <= count <= cluster.targetCount().
+  std::vector<std::size_t> choose(std::size_t count, const topo::ClusterConfig& cluster,
+                                  util::Rng& rng) {
+    return choose(count, cluster, rng, TargetFilter{});
+  }
+
+  /// Filtered variant: only targets for which `eligible(flat)` holds may be
+  /// picked.  Precondition (asserted): at least `count` eligible targets.
+  /// With no filter -- or a filter that accepts everything -- every
+  /// implementation consumes the rng identically to the unfiltered call, so
+  /// healthy-cluster runs are bitwise-unchanged by the filtering machinery.
   virtual std::vector<std::size_t> choose(std::size_t count,
                                           const topo::ClusterConfig& cluster,
-                                          util::Rng& rng) = 0;
+                                          util::Rng& rng,
+                                          const TargetFilter& eligible) = 0;
 
   virtual ChooserKind kind() const = 0;
 };
@@ -43,8 +62,9 @@ class RoundRobinChooser final : public TargetChooser {
   RoundRobinChooser(std::vector<std::size_t> order, double raceProbability,
                     ChooserKind kind = ChooserKind::kRoundRobin);
 
+  using TargetChooser::choose;
   std::vector<std::size_t> choose(std::size_t count, const topo::ClusterConfig& cluster,
-                                  util::Rng& rng) override;
+                                  util::Rng& rng, const TargetFilter& eligible) override;
   ChooserKind kind() const override { return kind_; }
 
   std::size_t pointer() const { return pointer_; }
@@ -69,8 +89,9 @@ class RoundRobinChooser final : public TargetChooser {
 /// BeeGFS default: uniformly random distinct targets.
 class RandomChooser final : public TargetChooser {
  public:
+  using TargetChooser::choose;
   std::vector<std::size_t> choose(std::size_t count, const topo::ClusterConfig& cluster,
-                                  util::Rng& rng) override;
+                                  util::Rng& rng, const TargetFilter& eligible) override;
   ChooserKind kind() const override { return ChooserKind::kRandom; }
 };
 
@@ -80,9 +101,37 @@ class RandomChooser final : public TargetChooser {
 /// target are chosen at random.
 class BalancedChooser final : public TargetChooser {
  public:
+  using TargetChooser::choose;
   std::vector<std::size_t> choose(std::size_t count, const topo::ClusterConfig& cluster,
-                                  util::Rng& rng) override;
+                                  util::Rng& rng, const TargetFilter& eligible) override;
   ChooserKind kind() const override { return ChooserKind::kBalanced; }
+};
+
+/// Decorator that biases target choice toward under-loaded storage hosts
+/// using the per-host weights published by the management service (the
+/// rebalance controller's "retarget" lever).
+///
+/// While every weight equals 1.0 (the mgmtd default) the wrapper delegates
+/// verbatim to the inner chooser -- same picks, same rng consumption -- so
+/// wrapping is free until a controller actually skews the weights.  With
+/// skewed weights the stripe is apportioned across hosts by largest-remainder
+/// quota on the weights (deterministic, no rng), then targets are drawn
+/// uniformly within each host's eligible set and the result shuffled.
+class WeightedChooser final : public TargetChooser {
+ public:
+  WeightedChooser(std::unique_ptr<TargetChooser> inner, const ManagementService& mgmt);
+
+  using TargetChooser::choose;
+  std::vector<std::size_t> choose(std::size_t count, const topo::ClusterConfig& cluster,
+                                  util::Rng& rng, const TargetFilter& eligible) override;
+  /// Reports the inner chooser's kind: the wrapper is a bias, not a policy.
+  ChooserKind kind() const override { return inner_->kind(); }
+
+  const TargetChooser& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<TargetChooser> inner_;
+  const ManagementService& mgmt_;
 };
 
 /// The target order PlaFRIM's deployed round-robin walks, reconstructed from

@@ -82,8 +82,11 @@ FileHandle FileSystem::create(const std::string& path) {
     if (usableGroups.empty()) throw util::ConfigError("no usable mirror groups");
     const std::size_t count =
         std::min<std::size_t>(settings.stripeCount, usableGroups.size());
+    // Each usable group's primary is online, so the online filter leaves at
+    // least `count` eligible targets for the chooser.
     const auto picks = chooser_->choose(
-        std::min<std::size_t>(count, cluster.targetCount()), cluster, rng_);
+        std::min<std::size_t>(count, cluster.targetCount()), cluster, rng_,
+        [&](std::size_t t) { return mgmt.target(t).online; });
     std::vector<std::size_t> groups;
     for (const auto t : picks) {
       const auto gid = mgmt.mirrorGroupOf(t);
@@ -119,13 +122,17 @@ FileHandle FileSystem::create(const std::string& path) {
   const std::size_t count =
       std::min<std::size_t>(settings.stripeCount, online.size());
 
-  std::vector<std::size_t> targets = chooser_->choose(
-      std::min<std::size_t>(count, cluster.targetCount()), cluster, rng_);
-
-  // Replace any offline picks with random online targets not already used.
-  // The replacements are sampled from rng_: a flat ascending fill would bias
-  // every repaired stripe toward the low-numbered targets of server 0.
+  // The registry state is pushed into the chooser: a real mgmtd only hands
+  // out online targets, so the heuristics themselves skip dead ones (the
+  // count is already clamped to the online population above).
   const auto isOnline = [&](std::size_t t) { return deployment_.mgmt().target(t).online; };
+  std::vector<std::size_t> targets = chooser_->choose(
+      std::min<std::size_t>(count, cluster.targetCount()), cluster, rng_, isOnline);
+
+  // Safety net (now expected to be a no-op): replace any offline picks with
+  // random online targets not already used.  The replacements are sampled
+  // from rng_: a flat ascending fill would bias every repaired stripe toward
+  // the low-numbered targets of server 0.
   if (!std::all_of(targets.begin(), targets.end(), isOnline)) {
     std::vector<std::size_t> repaired;
     for (const auto t : targets) {
@@ -166,6 +173,57 @@ FileHandle FileSystem::createPinned(const std::string& path, std::vector<std::si
 const FileInfo& FileSystem::info(FileHandle handle) const {
   BEESIM_ASSERT(handle.value < files_.size(), "unknown file handle");
   return files_[handle.value];
+}
+
+void FileSystem::enableWeightedChooser() {
+  if (dynamic_cast<WeightedChooser*>(chooser_.get()) != nullptr) return;
+  chooser_ = std::make_unique<WeightedChooser>(std::move(chooser_), deployment_.mgmt());
+}
+
+std::size_t FileSystem::effectiveTarget(FileHandle handle, std::size_t slot) const {
+  BEESIM_ASSERT(handle.value < files_.size(), "unknown file handle");
+  const auto& file = files_[handle.value];
+  BEESIM_ASSERT(slot < file.pattern.targets().size(), "stripe slot out of range");
+  if (const auto sub = substitutes_.find({handle.value, slot}); sub != substitutes_.end()) {
+    return sub->second;
+  }
+  return file.pattern.targets()[slot];
+}
+
+util::Bytes FileSystem::slotBytes(FileHandle handle, std::size_t slot) const {
+  BEESIM_ASSERT(handle.value < files_.size(), "unknown file handle");
+  const auto& file = files_[handle.value];
+  BEESIM_ASSERT(slot < file.pattern.targets().size(), "stripe slot out of range");
+  if (file.size == 0) return 0;
+  return file.pattern.bytesPerTarget(0, file.size)[slot];
+}
+
+sim::FlowId FileSystem::migrateSlot(FileHandle handle, std::size_t slot,
+                                    std::size_t newTarget, double queueWeight,
+                                    double rateCap,
+                                    std::function<void(const sim::FlowStats&)> done) {
+  BEESIM_ASSERT(handle.value < files_.size(), "unknown file handle");
+  const auto& file = files_[handle.value];
+  BEESIM_ASSERT(slot < file.pattern.targets().size(), "stripe slot out of range");
+  BEESIM_ASSERT(newTarget < deployment_.cluster().targetCount(),
+                "migration target out of range");
+  BEESIM_ASSERT(!file.mirrored, "mirrored slots move via their buddy groups");
+  const std::size_t oldTarget = effectiveTarget(handle, slot);
+  BEESIM_ASSERT(oldTarget != newTarget, "migration to the slot's current target");
+  const util::Bytes bytes = slotBytes(handle, slot);
+  BEESIM_ASSERT(bytes > 0, "an empty slot needs no migration");
+  // The slot is re-homed immediately -- new chunks and re-issues address the
+  // destination -- while the resident bytes stream over in the background.
+  // Bytes on the old target leak until an offline cleanup, like rewrites.
+  substitutes_[{handle.value, slot}] = newTarget;
+  deployment_.mgmt().recordUsage(newTarget, bytes);
+  return deployment_.fluid().startFlow(sim::FlowSpec{
+      .path = deployment_.replicaPath(oldTarget, newTarget),
+      .bytes = bytes,
+      .queueWeight = queueWeight,
+      .rateCap = rateCap,
+      .onComplete = std::move(done),
+  });
 }
 
 std::map<std::size_t, std::size_t> FileSystem::degradedSlots(FileHandle handle) const {

@@ -85,6 +85,30 @@ class FileSystem {
   /// The chooser in use (inspectable by tests).
   TargetChooser& chooser() { return *chooser_; }
 
+  // -- Rebalancing hooks (src/control/; see DESIGN.md §2.6). ---------------
+
+  /// Wrap the configured chooser in a WeightedChooser consulting the mgmtd
+  /// per-host weights (the controller's retarget lever).  Idempotent; with
+  /// uniform weights the wrapper is behaviourally invisible.
+  void enableWeightedChooser();
+
+  /// Target currently serving a stripe slot: the pattern target, or its
+  /// substitute after a failover/migration.
+  std::size_t effectiveTarget(FileHandle handle, std::size_t slot) const;
+
+  /// Bytes of the file currently resident on a stripe slot.
+  util::Bytes slotBytes(FileHandle handle, std::size_t slot) const;
+
+  /// Migrate a stripe slot to `newTarget`: future chunks of the slot address
+  /// the new target immediately (substitute entry), while the resident bytes
+  /// stream over as a background server-to-server flow with the given queue
+  /// weight and rate cap (0 = unlimited), reusing the resync flow model.
+  /// `done` fires with the flow stats when the stream lands; cancel via
+  /// Deployment::fluid().cancelFlow.  Returns the flow id.
+  sim::FlowId migrateSlot(FileHandle handle, std::size_t slot, std::size_t newTarget,
+                          double queueWeight, double rateCap,
+                          std::function<void(const sim::FlowStats&)> done);
+
   // -- Mid-run fault semantics (ClientFaultPolicy; see src/faults/). -------
 
   /// Cumulative client-side failure accounting across all transfers.

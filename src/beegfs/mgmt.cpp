@@ -23,6 +23,7 @@ const char* mirrorStateName(MirrorState state) {
 ManagementService::ManagementService(const topo::ClusterConfig& cluster,
                                      util::Bytes targetCapacity) {
   hostTargetCount_.resize(cluster.hosts.size());
+  hostWeights_.assign(cluster.hosts.size(), 1.0);
   for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
     hostTargetCount_[h] = cluster.hosts[h].targets.size();
     for (std::size_t t = 0; t < cluster.hosts[h].targets.size(); ++t) {
@@ -75,6 +76,22 @@ void ManagementService::recordUsage(std::size_t flatIndex, util::Bytes bytes) {
 std::size_t ManagementService::targetsOnHost(std::size_t host) const {
   BEESIM_ASSERT(host < hostTargetCount_.size(), "unknown host");
   return hostTargetCount_[host];
+}
+
+void ManagementService::setHostWeight(std::size_t host, double weight) {
+  BEESIM_ASSERT(host < hostWeights_.size(), "unknown host");
+  BEESIM_ASSERT(weight >= 0.0 && weight == weight && weight <= 1e12,
+                "host weight must be finite and >= 0");
+  hostWeights_[host] = weight;
+}
+
+double ManagementService::hostWeight(std::size_t host) const {
+  BEESIM_ASSERT(host < hostWeights_.size(), "unknown host");
+  return hostWeights_[host];
+}
+
+void ManagementService::resetHostWeights() {
+  std::fill(hostWeights_.begin(), hostWeights_.end(), 1.0);
 }
 
 std::size_t ManagementService::registerMirrorGroup(std::size_t primary,

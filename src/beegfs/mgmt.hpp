@@ -89,6 +89,19 @@ class ManagementService {
   /// Targets per host (registry view).
   std::size_t targetsOnHost(std::size_t host) const;
 
+  // -- Per-host chooser weights (rebalance retarget lever). ----------------
+
+  /// Create-bias weight of one storage host, consulted by WeightedChooser:
+  /// new file stripes are distributed across hosts proportionally to these.
+  /// All 1.0 by default (uniform = chooser behaves exactly as unwrapped).
+  /// Throws ContractError on negative or non-finite weights.
+  void setHostWeight(std::size_t host, double weight);
+  double hostWeight(std::size_t host) const;
+  const std::vector<double>& hostWeights() const { return hostWeights_; }
+
+  /// Back to uniform weights (controller disengaging).
+  void resetHostWeights();
+
   /// Register a buddy-mirror group.  Throws ConfigError unless both targets
   /// exist, sit on distinct hosts and belong to no other group.  Returns the
   /// group id.
@@ -124,6 +137,7 @@ class ManagementService {
 
   std::vector<TargetEntry> targets_;
   std::vector<std::size_t> hostTargetCount_;
+  std::vector<double> hostWeights_;
   std::vector<MirrorGroup> groups_;
   /// flat target index -> group id (or npos); sized lazily on registration.
   std::vector<std::size_t> groupOfTarget_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/error.hpp"
 
@@ -48,14 +49,34 @@ std::string Args::getString(const std::string& name, const std::string& fallback
 long Args::getInt(const std::string& name, long fallback) const {
   const auto value = get(name);
   if (!value) return fallback;
+  // Overflow gets its own message: "--ppn=99999999999999999999" is a range
+  // problem, not a syntax problem, and the error should say so.
   try {
     std::size_t pos = 0;
     const long parsed = std::stol(*value, &pos);
-    if (pos != value->size()) throw std::invalid_argument("trailing");
+    if (pos != value->size()) {
+      throw util::ConfigError("flag --" + name + ": '" + *value +
+                              "' is not an integer (trailing characters)");
+    }
     return parsed;
+  } catch (const util::ConfigError&) {
+    throw;
+  } catch (const std::out_of_range&) {
+    throw util::ConfigError("flag --" + name + ": '" + *value +
+                            "' is out of range for an integer");
   } catch (const std::exception&) {
     throw util::ConfigError("flag --" + name + ": '" + *value + "' is not an integer");
   }
+}
+
+long Args::getInt(const std::string& name, long fallback, long min, long max) const {
+  const long value = getInt(name, fallback);
+  if (value < min || value > max) {
+    throw util::ConfigError("flag --" + name + ": " + std::to_string(value) +
+                            " is out of range [" + std::to_string(min) + ", " +
+                            std::to_string(max) + "]");
+  }
+  return value;
 }
 
 std::size_t Args::getUnsigned(const std::string& name, std::size_t fallback) const {

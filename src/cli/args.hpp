@@ -26,7 +26,13 @@ class Args {
   /// Typed access with defaults.  Throw util::ConfigError on malformed
   /// values (bad numbers, bad sizes).
   std::string getString(const std::string& name, const std::string& fallback) const;
+  /// Integer; rejects trailing garbage ("4x") and values outside long's
+  /// range ("99999999999999999999") with distinct errors.
   long getInt(const std::string& name, long fallback) const;
+  /// Integer constrained to [min, max]; call sites that narrow the result
+  /// (int, unsigned, size_t) use this so out-of-range input errors out
+  /// instead of silently truncating or wrapping in the cast.
+  long getInt(const std::string& name, long fallback, long min, long max) const;
   /// Non-negative integer (e.g. --jobs, --reps); rejects negatives.
   std::size_t getUnsigned(const std::string& name, std::size_t fallback) const;
   /// Finite double; rejects nan/inf (which std::stod would accept and which

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <map>
 
+#include "control/rebalance.hpp"
 #include "core/advisor.hpp"
 #include "core/allocation.hpp"
 #include "core/analytic.hpp"
+#include "core/metrics.hpp"
 #include "beegfs/deployment.hpp"
 #include "beegfs/filesystem.hpp"
 #include "faults/schedule.hpp"
@@ -30,7 +32,9 @@ using namespace beesim::util::literals;
 /// Resolve the --cluster flag: a factory name or a JSON file path.
 topo::ClusterConfig resolveCluster(const Args& args) {
   const auto name = args.getString("cluster", "plafrim2");
-  const auto nodes = static_cast<std::size_t>(args.getInt("nodes", 16));
+  // getUnsigned rejects negatives; "--nodes=-1" used to wrap to a huge
+  // size_t in the cast and allocate accordingly.
+  const auto nodes = args.getUnsigned("nodes", 16);
   if (nodes == 0) throw util::ConfigError("--nodes must be >= 1");
   if (name == "plafrim1") return topo::makePlafrim(topo::Scenario::kEthernet10G, nodes);
   if (name == "plafrim2") return topo::makePlafrim(topo::Scenario::kOmniPath100G, nodes);
@@ -62,6 +66,38 @@ harness::RunConfig baseConfig(const Args& args, const topo::ClusterConfig& clust
   config.cluster = cluster;
   config.fs.chooser = chooserFromFlag(args.getString("chooser", "rr"));
   return config;
+}
+
+/// Shared --rebalance* handling: the closed-loop rebalancing controller
+/// (DESIGN.md §2.6).  Tuning knobs without the master switch are rejected as
+/// likely typos, mirroring the fault-flag conventions.
+control::RebalancePolicy rebalancePolicy(const Args& args) {
+  control::RebalancePolicy policy;
+  policy.enabled = args.getBool("rebalance");
+  const auto threshold = args.getDouble("rebalance-threshold", policy.threshold);
+  const auto rate = args.getDouble("rebalance-rate", 0.0);
+  const auto patience =
+      static_cast<int>(args.getInt("rebalance-patience", policy.patience, 1, 1'000'000));
+  if (!policy.enabled) {
+    if (args.get("rebalance-threshold") || args.get("rebalance-rate") ||
+        args.get("rebalance-patience")) {
+      throw util::ConfigError("--rebalance-threshold/-rate/-patience require --rebalance");
+    }
+    return policy;
+  }
+  if (threshold <= 1.0) {
+    throw util::ConfigError("--rebalance-threshold must be > 1 (1 = perfectly balanced)");
+  }
+  if (args.get("rebalance-rate") && rate <= 0.0) {
+    throw util::ConfigError(
+        "--rebalance-rate must be > 0 (omit the flag for uncapped migrations)");
+  }
+  policy.threshold = threshold;
+  // Keep the hysteresis exit point above 1 for tight thresholds.
+  policy.exitMargin = std::min(policy.exitMargin, (threshold - 1.0) / 2.0);
+  policy.migrationRate = rate;
+  policy.patience = patience;
+  return policy;
 }
 
 /// Shared --jobs/--progress handling: worker count (default BEESIM_JOBS,
@@ -112,11 +148,14 @@ int cmdDescribe(const Args& args, std::ostream& out) {
 int cmdRun(const Args& args, std::ostream& out) {
   const auto cluster = resolveCluster(args);
   auto config = baseConfig(args, cluster);
-  const auto ppn = static_cast<int>(args.getInt("ppn", 8));
-  const auto stripe = static_cast<unsigned>(args.getInt("stripe", 4));
+  // Bounded parses: the old unchecked static_casts silently truncated
+  // out-of-range input (e.g. --ppn=4294967297 read as ppn 1).
+  const auto ppn = static_cast<int>(args.getInt("ppn", 8, 1, 1 << 20));
+  const auto stripe = static_cast<unsigned>(
+      args.getInt("stripe", 4, 1, static_cast<long>(cluster.targetCount())));
   const auto total = args.getBytes("total", 32_GiB);
-  const auto reps = static_cast<std::size_t>(args.getInt("reps", 10));
-  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2022));
+  const auto reps = args.getUnsigned("reps", 10);
+  const auto seed = static_cast<std::uint64_t>(args.getUnsigned("seed", 2022));
   const auto pattern = args.getString("pattern", "n1");
   const auto op = args.getString("op", "write");
   const auto traceFile = args.getString("trace", "");
@@ -131,6 +170,7 @@ int cmdRun(const Args& args, std::ostream& out) {
   const auto faultHorizon = args.getDouble("fault-horizon", 120.0);
   const bool mirror = args.getBool("mirror");
   const auto resyncRate = args.getDouble("resync-rate", 0.0);
+  config.rebalance = rebalancePolicy(args);
   const auto exec = executorOptions(args, "run");
   rejectUnknownFlags(args);
 
@@ -199,11 +239,20 @@ int cmdRun(const Args& args, std::ostream& out) {
   std::map<std::string, std::size_t> allocationCounts;
   beegfs::ClientFaultStats faultTotals;
   beegfs::MirrorStats mirrorTotals;
+  control::RebalanceStats rebalTotals;
   std::size_t faultAborts = 0;
   const auto store = harness::executeCampaign(
       entries, protocol, seed,
       [&](const harness::RunRecord& record, harness::ResultRow&) {
         ++allocationCounts[core::Allocation(record.ior.targetsUsed, cluster).key()];
+        rebalTotals.samples += record.rebalance.samples;
+        rebalTotals.triggers += record.rebalance.triggers;
+        rebalTotals.retargets += record.rebalance.retargets;
+        rebalTotals.migrations += record.rebalance.migrations;
+        rebalTotals.bytesMigrated += record.rebalance.bytesMigrated;
+        rebalTotals.migrationSeconds += record.rebalance.migrationSeconds;
+        rebalTotals.peakImbalance =
+            std::max(rebalTotals.peakImbalance, record.rebalance.peakImbalance);
         faultTotals.timeouts += record.ior.faults.timeouts;
         faultTotals.retries += record.ior.faults.retries;
         faultTotals.failovers += record.ior.faults.failovers;
@@ -244,6 +293,14 @@ int cmdRun(const Args& args, std::ostream& out) {
         << " resynced=" << util::fmt(util::toMiB(mirrorTotals.bytesResynced), 1)
         << " MiB resync_time=" << util::fmt(mirrorTotals.resyncSeconds, 2) << " s\n";
   }
+  if (config.rebalance.enabled) {
+    out << "rebalance (totals over " << reps << " reps): triggers=" << rebalTotals.triggers
+        << " retargets=" << rebalTotals.retargets
+        << " migrations=" << rebalTotals.migrations
+        << " migrated=" << util::fmt(util::toMiB(rebalTotals.bytesMigrated), 1)
+        << " MiB migration_time=" << util::fmt(rebalTotals.migrationSeconds, 2)
+        << " s peak_imbalance=" << util::fmt(rebalTotals.peakImbalance, 3) << "\n";
+  }
 
   if (!traceFile.empty() || !traceOut.empty() || !metricsOut.empty()) {
     // One extra traced run (same seed as the campaign root) with the flow
@@ -283,32 +340,30 @@ int cmdRun(const Args& args, std::ostream& out) {
     // Per-server split of the traced run: the measured view of the paper's
     // (min,max) balance story.
     const util::Seconds span = traced.end - traced.start;
-    double sum = 0.0;
-    double peak = 0.0;
+    std::vector<double> serverMiB;
     util::TableWriter servers({"server", "MiB", "busy frac"});
     for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
       const auto link = deployment.serverNicResource(h);
       const double mib = tracer.resourceMiB(link);
       const double busy = span > 0.0 ? tracer.resourceBusyTime(link) / span : 0.0;
       servers.addRow({cluster.hosts[h].name, util::fmt(mib, 0), util::fmt(busy, 3)});
-      sum += mib;
-      peak = std::max(peak, mib);
+      serverMiB.push_back(mib);
     }
     out << servers.render();
-    const double imbalance =
-        sum > 0.0 ? peak * static_cast<double>(cluster.hosts.size()) / sum : 0.0;
-    out << "link_imbalance (max/mean server MiB): " << util::fmt(imbalance, 3) << "\n";
+    out << "link_imbalance (max/mean server MiB): "
+        << util::fmt(core::linkImbalance(serverMiB), 3) << "\n";
   }
   return 0;
 }
 
 int cmdSweep(const Args& args, std::ostream& out) {
   const auto cluster = resolveCluster(args);
-  const auto ppn = static_cast<int>(args.getInt("ppn", 8));
-  const auto reps = static_cast<std::size_t>(args.getInt("reps", 30));
-  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2022));
+  const auto ppn = static_cast<int>(args.getInt("ppn", 8, 1, 1 << 20));
+  const auto reps = args.getUnsigned("reps", 30);
+  const auto seed = static_cast<std::uint64_t>(args.getUnsigned("seed", 2022));
   const auto total = args.getBytes("total", 32_GiB);
   auto config = baseConfig(args, cluster);
+  config.rebalance = rebalancePolicy(args);
   const auto exec = executorOptions(args, "sweep");
   rejectUnknownFlags(args);
 
@@ -354,8 +409,8 @@ int cmdSweep(const Args& args, std::ostream& out) {
 }
 
 int cmdConcurrent(const Args& args, std::ostream& out) {
-  const auto apps = static_cast<std::size_t>(args.getInt("apps", 2));
-  const auto nodesPerApp = static_cast<std::size_t>(args.getInt("nodes-per-app", 8));
+  const auto apps = args.getUnsigned("apps", 2);
+  const auto nodesPerApp = args.getUnsigned("nodes-per-app", 8);
   if (apps < 1) throw util::ConfigError("--apps must be >= 1");
 
   topo::ClusterConfig cluster = [&] {
@@ -372,12 +427,14 @@ int cmdConcurrent(const Args& args, std::ostream& out) {
     throw util::ConfigError("cluster has fewer nodes than apps * nodes-per-app");
   }
 
-  const auto stripe = static_cast<unsigned>(args.getInt("stripe", 4));
-  const auto ppn = static_cast<int>(args.getInt("ppn", 8));
+  const auto stripe = static_cast<unsigned>(
+      args.getInt("stripe", 4, 1, static_cast<long>(cluster.targetCount())));
+  const auto ppn = static_cast<int>(args.getInt("ppn", 8, 1, 1 << 20));
   const auto total = args.getBytes("total", 32_GiB);
-  const auto reps = static_cast<std::size_t>(args.getInt("reps", 10));
-  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2022));
+  const auto reps = args.getUnsigned("reps", 10);
+  const auto seed = static_cast<std::uint64_t>(args.getUnsigned("seed", 2022));
   auto base = baseConfig(args, cluster);
+  base.rebalance = rebalancePolicy(args);
   const auto exec = executorOptions(args, "concurrent");
   rejectUnknownFlags(args);
   base.fs.defaultStripe.stripeCount = stripe;
@@ -459,8 +516,17 @@ std::string usage() {
          "                --mirror    stripe over buddy-mirror groups (synchronous\n"
          "                            cross-host replication with automatic failover)\n"
          "                --resync-rate MiBps   cap background resync flows (default uncapped)\n"
-         "sweep flags:    --ppn --reps --total --chooser\n"
-         "concurrent:     --apps --nodes-per-app --ppn --stripe --total --reps\n"
+         "                --rebalance           closed-loop rebalancing: watch per-server\n"
+         "                            rates, bias new creates toward cold servers and\n"
+         "                            migrate hot chunks when imbalance persists\n"
+         "                --rebalance-threshold X   engage at link imbalance >= X (>1,\n"
+         "                            default 1.25; 1 = perfectly balanced)\n"
+         "                --rebalance-patience N    consecutive samples over threshold\n"
+         "                            before acting (default 3)\n"
+         "                --rebalance-rate MiBps    cap each background migration flow\n"
+         "                            (default uncapped)\n"
+         "sweep flags:    --ppn --reps --total --chooser --rebalance*\n"
+         "concurrent:     --apps --nodes-per-app --ppn --stripe --total --reps --rebalance*\n"
          "export-cluster: --out FILE\n";
 }
 
@@ -472,7 +538,7 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream
   const std::string command = argv[0];
   try {
     const Args args(std::vector<std::string>(argv.begin() + 1, argv.end()),
-                    {"progress", "mirror"});
+                    {"progress", "mirror", "rebalance"});
     if (command == "describe") return cmdDescribe(args, out);
     if (command == "run") return cmdRun(args, out);
     if (command == "sweep") return cmdSweep(args, out);

@@ -63,6 +63,17 @@ ResultRow makeRow(const CampaignEntry& entry, const PlannedRun& planned,
     row.metrics["resync_mib"] = util::toMiB(record.ior.mirror.bytesResynced);
     row.metrics["resync_seconds"] = record.ior.mirror.resyncSeconds;
   }
+  if (record.rebalanceActive) {
+    // Same contract as fault_*: only controller-armed runs carry these
+    // columns, so campaigns with rebalancing off keep their exact bytes.
+    row.metrics["rebal_samples"] = static_cast<double>(record.rebalance.samples);
+    row.metrics["rebal_triggers"] = static_cast<double>(record.rebalance.triggers);
+    row.metrics["rebal_retargets"] = static_cast<double>(record.rebalance.retargets);
+    row.metrics["rebal_migrations"] = static_cast<double>(record.rebalance.migrations);
+    row.metrics["rebal_migrated_mib"] = util::toMiB(record.rebalance.bytesMigrated);
+    row.metrics["rebal_migration_seconds"] = record.rebalance.migrationSeconds;
+    row.metrics["rebal_peak_imbalance"] = record.rebalance.peakImbalance;
+  }
   if (record.ior.util.active) {
     // Same contract again: only utilization-observed runs carry the
     // per-server traffic split, so default campaigns keep their exact bytes.

@@ -49,6 +49,11 @@ ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>
   beegfs::Deployment deployment(fluid, base.cluster, base.fs, rng.split(), env);
   beegfs::FileSystem fs(deployment, rng.split());
 
+  // Same contract as runOnce: the controller only exists when enabled, so
+  // default concurrent experiments stay bitwise identical.
+  std::optional<control::RebalanceController> rebalance;
+  if (base.rebalance.enabled) rebalance.emplace(fs, base.rebalance);
+
   ConcurrentResult result;
   result.seed = seed;
   result.environment = env;
@@ -61,14 +66,21 @@ ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>
     options.testFile += ".app" + std::to_string(a);
     ior::launchIor(
         fs, apps[a].job, options, base.startAt + apps[a].startOffset,
-        [&result, &remaining, a](const ior::IorResult& r) {
+        [&result, &remaining, &rebalance, a](const ior::IorResult& r) {
           result.apps[a] = r;
-          --remaining;
+          // Disarm once the *last* application completes: the controller
+          // keeps serving the survivors of a staggered schedule.
+          if (--remaining == 0 && rebalance) rebalance->disarm();
         },
         apps[a].pinnedTargets);
   }
   fluid.run();
   BEESIM_ASSERT(remaining == 0, "a concurrent application did not complete");
+  if (rebalance) {
+    rebalance->cancel();
+    result.rebalanceActive = true;
+    result.rebalance = rebalance->stats();
+  }
 
   result.aggregateBandwidth = aggregateBandwidth(result.apps);
 

@@ -41,6 +41,10 @@ struct ConcurrentResult {
   std::size_t distinctTargets = 0;
   beegfs::EnvironmentFactors environment;
   std::uint64_t seed = 0;
+  /// True when the rebalance controller ran for this experiment.
+  bool rebalanceActive = false;
+  /// What the controller did (zeroed when !rebalanceActive).
+  control::RebalanceStats rebalance;
 };
 
 /// Run all applications concurrently on one deployment built from

@@ -7,6 +7,8 @@
 
 #include "beegfs/deployment.hpp"
 #include "beegfs/filesystem.hpp"
+#include "control/rebalance.hpp"
+#include "core/metrics.hpp"
 #include "sim/fluid.hpp"
 #include "sim/trace.hpp"
 #include "util/error.hpp"
@@ -24,18 +26,12 @@ ior::RunUtilization measureUtilization(const sim::FlowTracer& tracer,
   util.active = true;
   const std::size_t hosts = deployment.cluster().hosts.size();
   const util::Seconds span = result.end - result.start;
-  double sum = 0.0;
-  double peak = 0.0;
   for (std::size_t h = 0; h < hosts; ++h) {
     const auto link = deployment.serverNicResource(h);
-    const double mib = tracer.resourceMiB(link);
-    util.serverMiB.push_back(mib);
+    util.serverMiB.push_back(tracer.resourceMiB(link));
     util.serverBusyFrac.push_back(span > 0.0 ? tracer.resourceBusyTime(link) / span : 0.0);
-    sum += mib;
-    peak = std::max(peak, mib);
   }
-  util.linkImbalance =
-      sum > 0.0 ? peak * static_cast<double>(hosts) / sum : 0.0;
+  util.linkImbalance = core::linkImbalance(util.serverMiB);
   return util;
 }
 
@@ -59,6 +55,12 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
   std::optional<sim::FlowTracer> tracer;
   if (config.observe.utilization) tracer.emplace(fluid);
   if (config.observe.profile) fluid.setProfiling(true);
+
+  // The rebalance controller attaches its own tracer through the same
+  // observer hub; with rebalancing off nothing is constructed, so default
+  // runs keep their exact legacy bytes.
+  std::optional<control::RebalanceController> rebalance;
+  if (config.rebalance.enabled) rebalance.emplace(fs, config.rebalance);
 
   RunRecord record;
   record.seed = seed;
@@ -99,6 +101,9 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
       [&](const ior::IorResult& result) {
         record.ior = result;
         finished = true;
+        // Freeze the controller the instant the job completes: in-flight
+        // migrations drain, but their tail traffic cannot re-trigger it.
+        if (rebalance) rebalance->disarm();
       },
       config.pinnedTargets);
   fluid.run();
@@ -110,6 +115,11 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
     // post-job resync rounds count.  The file system is fresh per run, so
     // its totals equal this run's delta.
     record.ior.mirror = fs.mirrorStats();
+  }
+  if (rebalance) {
+    rebalance->cancel();  // safety: the drained run left no active flows
+    record.rebalanceActive = true;
+    record.rebalance = rebalance->stats();
   }
   if (tracer) record.ior.util = measureUtilization(*tracer, deployment, record.ior);
   record.resolves = fluid.resolveCount();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "beegfs/params.hpp"
+#include "control/rebalance.hpp"
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
 #include "ior/options.hpp"
@@ -59,6 +60,10 @@ struct RunConfig {
   faults::FaultPlan faults;
   /// Run-level observability (utilization measurement, profiling).
   ObservabilityOptions observe;
+  /// Closed-loop rebalancing (DESIGN.md §2.6).  Disabled by default: the
+  /// controller is then never constructed and the run stays bitwise
+  /// identical to pre-controller builds.
+  control::RebalancePolicy rebalance;
 };
 
 struct RunRecord {
@@ -73,6 +78,11 @@ struct RunRecord {
   bool mirrorActive = false;
   /// What the injector fired (zeroed when !faultsActive).
   faults::InjectorStats injected;
+  /// True when the rebalance controller ran (campaign rows then carry the
+  /// rebal_* metric columns).
+  bool rebalanceActive = false;
+  /// What the controller did (zeroed when !rebalanceActive).
+  control::RebalanceStats rebalance;
   /// Solver work done by this run (always filled; the counters are free).
   std::size_t resolves = 0;
   std::size_t solverIterations = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "core/metrics.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -55,17 +56,12 @@ void FlowTracer::recordSample(SimTime at) {
   sample.activeFlows = live_.size();
   sample.aggregateRate = totalRate_;
   sample.linkRates.reserve(trackedLinks_.size());
-  double sum = 0.0;
-  double peak = 0.0;
   for (const auto link : trackedLinks_) {
-    const double rate = resourceRate_[link.value];
-    sample.linkRates.push_back(rate);
-    sum += rate;
-    peak = std::max(peak, rate);
+    sample.linkRates.push_back(resourceRate_[link.value]);
   }
-  sample.linkImbalance =
-      sum > 0.0 ? peak * static_cast<double>(trackedLinks_.size()) / sum : 0.0;
+  sample.linkImbalance = core::linkImbalance(sample.linkRates);
   samples_.push_back(std::move(sample));
+  if (sampleListener_) sampleListener_(samples_.back());
 }
 
 void FlowTracer::bankInterval(SimTime until) {
@@ -303,13 +299,19 @@ void FlowTracer::writeChromeTrace(const std::filesystem::path& path) const {
 
 std::string FlowTracer::metricsCsv() const {
   std::string out = "t,active_flows,aggregate_mibps,link_imbalance";
-  for (const auto& name : linkNames_) out += "," + name;
-  out += "\n";
+  for (const auto& name : linkNames_) {
+    out += ',';
+    out += name;
+  }
+  out += '\n';
   for (const auto& sample : samples_) {
     out += util::fmt(sample.time, 6) + "," + std::to_string(sample.activeFlows) + "," +
            util::fmt(sample.aggregateRate, 3) + "," + util::fmt(sample.linkImbalance, 4);
-    for (const auto rate : sample.linkRates) out += "," + util::fmt(rate, 3);
-    out += "\n";
+    for (const auto rate : sample.linkRates) {
+      out += ',';
+      out += util::fmt(rate, 3);
+    }
+    out += '\n';
   }
   return out;
 }

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <span>
 #include <string>
@@ -103,6 +104,15 @@ class FlowTracer final : public FluidObserver {
   const std::vector<MetricsSample>& samples() const { return samples_; }
   const std::vector<std::string>& trackedLinkNames() const { return linkNames_; }
 
+  /// Invoked synchronously after each metrics sample is recorded (virtual
+  /// time, inside observer dispatch).  Consumers that react by mutating the
+  /// simulation -- e.g. the rebalance controller starting migration flows --
+  /// must defer their action via the engine (scheduleAfter) instead of
+  /// calling into FluidSimulator from the callback.
+  void setSampleListener(std::function<void(const MetricsSample&)> listener) {
+    sampleListener_ = std::move(listener);
+  }
+
   /// Metrics series as CSV: t,active_flows,aggregate_mibps,link_imbalance
   /// plus one column per tracked link.
   std::string metricsCsv() const;
@@ -171,6 +181,7 @@ class FlowTracer final : public FluidObserver {
   std::vector<MetricsSample> samples_;
   std::vector<ResourceIndex> trackedLinks_;
   std::vector<std::string> linkNames_;
+  std::function<void(const MetricsSample&)> sampleListener_;
 };
 
 }  // namespace beesim::sim

@@ -42,6 +42,41 @@ TEST(Args, TypedParsingErrors) {
   EXPECT_THROW(args.getBytes("b", 0), util::ConfigError);
 }
 
+TEST(Args, GetIntRejectsTrailingGarbage) {
+  // std::stol would silently parse "4x" as 4; the strict parser refuses --
+  // "--ppn 4x" is a typo, not a request for 4 processes.
+  for (const std::string bad : {"4x", "1 2", "0x10", "3.5"}) {
+    const Args args({"--ppn", bad});
+    EXPECT_THROW(args.getInt("ppn", 0), util::ConfigError) << bad;
+  }
+  const Args ok({"--ppn", "-4"});
+  EXPECT_EQ(ok.getInt("ppn", 0), -4);
+}
+
+TEST(Args, GetIntReportsOverflowAsRangeError) {
+  const Args args({"--seed", "99999999999999999999"});
+  try {
+    args.getInt("seed", 0);
+    FAIL() << "overflow accepted";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+}
+
+TEST(Args, GetIntRangeOverloadEnforcesBounds) {
+  const Args args({"--patience", "7"});
+  EXPECT_EQ(args.getInt("patience", 1, 1, 100), 7);
+  EXPECT_THROW(args.getInt("patience", 1, 1, 5), util::ConfigError);
+  EXPECT_THROW(args.getInt("patience", 1, 8, 100), util::ConfigError);
+  // The fallback is returned untouched when the flag is absent.
+  EXPECT_EQ(args.getInt("missing", 3, 1, 5), 3);
+}
+
+TEST(Args, GetUnsignedRejectsNegatives) {
+  const Args args({"--reps", "-3"});
+  EXPECT_THROW(args.getUnsigned("reps", 0), util::ConfigError);
+}
+
 TEST(Args, MissingValueThrows) {
   EXPECT_THROW(Args({"--nodes"}), util::ConfigError);
   EXPECT_THROW(Args({"--"}), util::ConfigError);

@@ -250,15 +250,17 @@ TEST(FluidIncremental, RandomizedIncrementalMatchesScratchSolve) {
         const double base = rng.uniform(50.0, 500.0);
         // Half the resources wobble over time so clean/dirty transitions and
         // capacity-change detection are exercised, not just membership.
+        std::string name = "r";
+        name += std::to_string(g);
+        name += '_';
+        name += std::to_string(r);
         if (r % 2 == 0) {
           resources.push_back(fluid.addResource(ResourceSpec{
-              "r" + std::to_string(g) + "_" + std::to_string(r),
-              [base](const ResourceLoad& load) {
+              std::move(name), [base](const ResourceLoad& load) {
                 return base * (1.0 + 0.2 * std::sin(3.0 * load.time));
               }}));
         } else {
-          resources.push_back(addLink(
-              fluid, "r" + std::to_string(g) + "_" + std::to_string(r), base));
+          resources.push_back(addLink(fluid, name, base));
         }
       }
     }
