@@ -14,7 +14,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <string_view>
 
 #include "beegfs/deployment.hpp"
 #include "beegfs/filesystem.hpp"
@@ -23,6 +27,7 @@
 #include "sim/fluid.hpp"
 #include "sim/maxmin.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 #include "topology/plafrim.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -306,10 +311,365 @@ void writeFluidCoreBench() {
             << "x, shared " << sharedHeadline << "x)\n";
 }
 
+// --- Cluster-scale fluid bench: SoA solver, ε-deferral, trace sinks ----
+//
+// The scale campaign behind results/BENCH_fluid_scale.json.  Three parts:
+//
+//   * a 10k-flow / 1k-resource wobbling-capacity scenario timed on three
+//     solver legs -- the scalar reference walk (the pre-SoA incremental
+//     path), the SoA fast path at ε=0, and SoA with ε-bounded deferral;
+//   * the same scenario untraced vs FlowTracer vs RingTraceSink, measuring
+//     tracing overhead as a percentage of untraced wall time;
+//   * a paper-topology campaign scaled ~1000x in rank count (the paper's
+//     Scenario-2 jobs are 4 nodes x 8 ppn = 32 ranks), run end to end
+//     through runOnce at ε=0 and ε>0.
+//
+// Modes (environment-selected so ctest/CI reuse one binary):
+//   BEESIM_BENCH_SMOKE=1   tiny sizes, seconds -- the tier-1 ctest smoke;
+//   BEESIM_BENCH_QUICK=1   reduced windows -- the CI perf-regression guard;
+//   (neither)              full sizes, written to BENCH_fluid_scale.json
+//                          (override with BEESIM_SCALE_JSON).
+//
+// The guard (BEESIM_BENCH_BASELINE=<committed json>) compares *relative*
+// metrics -- the ε-leg's speedup over the in-process reference leg and the
+// ring sink's overhead percentage -- so it is meaningful across hosts of
+// different absolute speed.  It fails (exit 1) when the current speedup
+// falls more than BEESIM_BENCH_GUARD_PCT (default 20) percent below the
+// committed one, or when ring overhead exceeds the 10% acceptance bound.
+
+bool envFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+
+struct ScaleShape {
+  std::size_t apps = 0;
+  std::size_t resPerApp = 0;
+  std::size_t flowsPerApp = 0;
+  double minWallSeconds = 0.0;  // repeat the window until this much elapsed
+};
+
+struct ScaleLeg {
+  double resolvesPerS = 0.0;
+  double eventsPerS = 0.0;
+  double wallPerSimSecond = 0.0;  // host seconds per simulated second
+  std::size_t deferred = 0;
+};
+
+/// Build the wobbling-capacity scenario and run it for `simWindow` virtual
+/// seconds per repetition until `minWall` host seconds elapsed.  Per-app
+/// resources are disjoint, so the solver sees `apps` independent components;
+/// every capacity wobbles each resolve tick, so at ε=0 every component
+/// re-solves on every tick (the worst case the ε bound exists to avoid).
+template <typename Attach>
+ScaleLeg runScaleLeg(const ScaleShape& shape, bool reference, double epsilon,
+                     double simWindow, Attach&& attach) {
+  sim::FluidSimulator fluid;
+  fluid.setReferenceSolver(reference);
+  if (epsilon > 0.0) fluid.setSolverEpsilon(epsilon);
+  fluid.setResolveInterval(0.01);
+  std::vector<sim::ResourceIndex> links;
+  const std::size_t nRes = shape.apps * shape.resPerApp;
+  links.reserve(nRes);
+  for (std::size_t r = 0; r < nRes; ++r) {
+    const double phase = 0.1 * static_cast<double>(r);
+    links.push_back(fluid.addResource(sim::ResourceSpec{
+        "link" + std::to_string(r), [phase](const sim::ResourceLoad& load) {
+          return 500.0 + 2.0 * std::sin(3.0 * load.time + phase);
+        }}));
+  }
+  util::Rng rng(20220714);
+  const std::size_t pathLen = std::min<std::size_t>(3, shape.resPerApp);
+  for (std::size_t a = 0; a < shape.apps; ++a) {
+    for (std::size_t i = 0; i < shape.flowsPerApp; ++i) {
+      sim::FlowSpec spec;
+      for (const auto r : rng.sampleWithoutReplacement(shape.resPerApp, pathLen)) {
+        spec.path.push_back(links[a * shape.resPerApp + r]);
+      }
+      spec.bytes = 1_TiB;  // nothing completes inside the window
+      spec.queueWeight = rng.uniform(0.5, 4.0);
+      fluid.startFlow(std::move(spec));
+    }
+  }
+  auto hold = attach(fluid);  // optional observer, kept alive for the run
+  (void)hold;
+  fluid.engine().runUntil(0.5);  // warm-up: pools sized, first exact solves
+  const auto resolves0 = fluid.resolveCount();
+  const auto deferred0 = fluid.deferredResolves();
+  std::size_t events = 0;
+  double simEnd = 0.5;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    simEnd += simWindow;
+    events += fluid.engine().runUntil(simEnd);
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                  .count();
+  } while (elapsed < shape.minWallSeconds);
+  ScaleLeg leg;
+  leg.resolvesPerS = static_cast<double>(fluid.resolveCount() - resolves0) / elapsed;
+  leg.eventsPerS = static_cast<double>(events) / elapsed;
+  leg.wallPerSimSecond = elapsed / (simEnd - 0.5);
+  leg.deferred = fluid.deferredResolves() - deferred0;
+  return leg;
+}
+
+struct NoObserver {
+  int operator()(sim::FluidSimulator&) const { return 0; }
+};
+
+/// Scale-bench repetitions per leg (set by mode).  Each leg keeps its best
+/// (lowest wall-per-sim-second) repetition: transient noise -- scheduler
+/// preemption, frequency ramps -- only ever makes a run *slower*, so the
+/// minimum is the stable estimator the CI guard needs.
+std::size_t gScaleRepeats = 1;
+
+/// Run a set of legs `gScaleRepeats` times round-robin and keep each leg's
+/// best repetition.  Interleaving matters: running all repetitions of one leg
+/// back to back would let slow drift (turbo decay, thermal throttling) bias
+/// whichever leg happens to run last, which shows up as phantom overhead in
+/// the traced-vs-untraced comparison.
+std::vector<ScaleLeg> bestScaleLegs(
+    const std::vector<std::function<ScaleLeg()>>& legs) {
+  std::vector<ScaleLeg> best;
+  best.reserve(legs.size());
+  for (const auto& leg : legs) best.push_back(leg());
+  for (std::size_t i = 1; i < gScaleRepeats; ++i) {
+    for (std::size_t j = 0; j < legs.size(); ++j) {
+      const ScaleLeg rep = legs[j]();
+      if (rep.wallPerSimSecond < best[j].wallPerSimSecond) best[j] = rep;
+    }
+  }
+  return best;
+}
+
+util::JsonValue benchScaleSolver(const ScaleShape& shape, double epsilon,
+                                 double simWindow, double* speedupOut) {
+  const auto legs = bestScaleLegs({
+      [&] { return runScaleLeg(shape, true, 0.0, simWindow, NoObserver{}); },
+      [&] { return runScaleLeg(shape, false, 0.0, simWindow, NoObserver{}); },
+      [&] { return runScaleLeg(shape, false, epsilon, simWindow, NoObserver{}); },
+  });
+  const ScaleLeg& reference = legs[0];
+  const ScaleLeg& soa = legs[1];
+  const ScaleLeg& eps = legs[2];
+
+  util::JsonObject entry;
+  entry["name"] = "scale_" + std::to_string(shape.apps * shape.flowsPerApp) + "f_" +
+                  std::to_string(shape.apps * shape.resPerApp) + "r";
+  entry["flows"] = static_cast<double>(shape.apps * shape.flowsPerApp);
+  entry["resources"] = static_cast<double>(shape.apps * shape.resPerApp);
+  entry["components"] = static_cast<double>(shape.apps);
+  entry["epsilon_mibps"] = epsilon;
+  entry["reference_resolves_per_s"] = reference.resolvesPerS;
+  entry["reference_events_per_s"] = reference.eventsPerS;
+  entry["soa_resolves_per_s"] = soa.resolvesPerS;
+  entry["soa_events_per_s"] = soa.eventsPerS;
+  entry["soa_speedup"] = reference.wallPerSimSecond / soa.wallPerSimSecond;
+  entry["eps_resolves_per_s"] = eps.resolvesPerS;
+  entry["eps_events_per_s"] = eps.eventsPerS;
+  entry["eps_deferred_component_solves"] = static_cast<double>(eps.deferred);
+  const double speedup = reference.wallPerSimSecond / eps.wallPerSimSecond;
+  entry["eps_speedup"] = speedup;
+  if (speedupOut != nullptr) *speedupOut = speedup;
+  return util::JsonValue(std::move(entry));
+}
+
+util::JsonValue benchScaleTracing(const ScaleShape& shape, double simWindow,
+                                  double* ringOverheadOut) {
+  // All three legs run the exact (ε=0, SoA) path; only the attached observer
+  // differs, so the wall-time delta is tracing cost alone.
+  std::uint64_t ringRecorded = 0;
+  const auto legs = bestScaleLegs({
+      [&] { return runScaleLeg(shape, false, 0.0, simWindow, NoObserver{}); },
+      [&] {
+        return runScaleLeg(shape, false, 0.0, simWindow, [](sim::FluidSimulator& f) {
+          return std::make_unique<sim::FlowTracer>(f);
+        });
+      },
+      [&] {
+        return runScaleLeg(shape, false, 0.0, simWindow, [&](sim::FluidSimulator& f) {
+          struct Hold {
+            sim::RingTraceSink sink;
+            std::uint64_t* recorded;
+            Hold(sim::FluidSimulator& fluid, std::uint64_t* out)
+                : sink(fluid, 1u << 20), recorded(out) {}
+            ~Hold() { *recorded = sink.recorded(); }
+          };
+          return std::make_unique<Hold>(f, &ringRecorded);
+        });
+      },
+  });
+  const ScaleLeg& untraced = legs[0];
+  const ScaleLeg& fullTraced = legs[1];
+  const ScaleLeg& ringTraced = legs[2];
+
+  const auto overheadPct = [&](const ScaleLeg& leg) {
+    return 100.0 * (leg.wallPerSimSecond - untraced.wallPerSimSecond) /
+           untraced.wallPerSimSecond;
+  };
+  util::JsonObject entry;
+  entry["flows"] = static_cast<double>(shape.apps * shape.flowsPerApp);
+  entry["resources"] = static_cast<double>(shape.apps * shape.resPerApp);
+  entry["untraced_events_per_s"] = untraced.eventsPerS;
+  entry["full_tracer_overhead_pct"] = overheadPct(fullTraced);
+  entry["ring_sink_overhead_pct"] = overheadPct(ringTraced);
+  entry["ring_records"] = static_cast<double>(ringRecorded);
+  if (ringOverheadOut != nullptr) *ringOverheadOut = overheadPct(ringTraced);
+  return util::JsonValue(std::move(entry));
+}
+
+util::JsonValue benchScaleCampaign(std::size_t nodes, double epsilon) {
+  // The paper's Scenario-2 jobs are 4 nodes x 8 ppn; `nodes` scales that
+  // topology up while keeping the per-rank working set small enough that the
+  // leg finishes in seconds.  runOnce builds the whole stack (deployment,
+  // filesystem, striping, IOR), so this measures the fluid core where it
+  // actually lives.
+  harness::RunConfig config;
+  config.cluster = topo::makePlafrim(topo::Scenario::kOmniPath100G, nodes);
+  config.fs.defaultStripe.stripeCount = 8;
+  config.job = ior::IorJob::onFirstNodes(nodes, 8);
+  config.ior.blockSize = ior::blockSizeForTotal(
+      static_cast<util::Bytes>(config.job.ranks()) * 4_MiB, config.job.ranks());
+  const auto exact = harness::runOnce(config, 42);
+  config.solverEpsilon = epsilon;
+  const auto bounded = harness::runOnce(config, 42);
+
+  util::JsonObject entry;
+  entry["name"] = "paper_topology_x" + std::to_string(config.job.ranks() / 32);
+  entry["nodes"] = static_cast<double>(nodes);
+  entry["ranks"] = static_cast<double>(config.job.ranks());
+  entry["epsilon_mibps"] = epsilon;
+  entry["exact_wall_s"] = exact.wallSeconds;
+  entry["exact_resolves"] = static_cast<double>(exact.resolves);
+  entry["exact_bandwidth_mibps"] = exact.ior.bandwidth;
+  entry["eps_wall_s"] = bounded.wallSeconds;
+  entry["eps_resolves"] = static_cast<double>(bounded.resolves);
+  entry["eps_deferred"] = static_cast<double>(bounded.deferredResolves);
+  entry["eps_bandwidth_mibps"] = bounded.ior.bandwidth;
+  entry["eps_bandwidth_rel_err"] =
+      exact.ior.bandwidth > 0.0
+          ? std::abs(bounded.ior.bandwidth - exact.ior.bandwidth) / exact.ior.bandwidth
+          : 0.0;
+  return util::JsonValue(std::move(entry));
+}
+
+int runScaleBench(bool smoke, bool quick) {
+  constexpr double kEpsilon = 25.0;  // MiB/s; capacities wobble +-2 at ~500
+  ScaleShape shape;
+  double simWindow = 1.0;
+  std::size_t campaignNodes = 4096;  // 32768 ranks = 1024x the paper's 32
+  if (smoke) {
+    shape = ScaleShape{4, 8, 25, 0.0};
+    simWindow = 0.2;
+    campaignNodes = 32;
+    gScaleRepeats = 1;
+  } else if (quick) {
+    shape = ScaleShape{100, 10, 100, 0.4};
+    simWindow = 0.5;
+    campaignNodes = 512;
+    gScaleRepeats = 5;
+  } else {
+    shape = ScaleShape{100, 10, 100, 0.8};
+    gScaleRepeats = 5;
+  }
+
+  double scaleSpeedup = 0.0;
+  double ringOverheadPct = 0.0;
+  util::JsonArray scenarios;
+  scenarios.push_back(benchScaleSolver(shape, kEpsilon, simWindow, &scaleSpeedup));
+  util::JsonValue tracing = benchScaleTracing(shape, simWindow, &ringOverheadPct);
+  util::JsonValue campaign = benchScaleCampaign(campaignNodes, kEpsilon);
+
+  util::JsonObject headline;
+  headline["scale_speedup"] = scaleSpeedup;
+  headline["ring_overhead_pct"] = ringOverheadPct;
+  util::JsonObject doc;
+  doc["benchmark"] = "fluid_scale";
+  doc["mode"] = smoke ? "smoke" : quick ? "quick" : "full";
+  doc["scenarios"] = util::JsonValue(std::move(scenarios));
+  doc["tracing"] = std::move(tracing);
+  doc["campaign"] = std::move(campaign);
+  doc["headline"] = util::JsonValue(std::move(headline));
+
+  const char* outEnv = std::getenv("BEESIM_SCALE_JSON");
+  const std::string path =
+      outEnv != nullptr && *outEnv != '\0'
+          ? outEnv
+          : (smoke || quick ? std::string() : std::string("BENCH_fluid_scale.json"));
+  if (!path.empty()) {
+    std::ofstream file(path);
+    file << util::JsonValue(doc).dump(2) << "\n";
+    std::cout << "fluid-scale campaign written to " << path << "\n";
+  }
+  std::cout << "fluid-scale: eps-leg speedup " << scaleSpeedup
+            << "x over reference, ring tracing overhead " << ringOverheadPct
+            << "% (full tracer "
+            << util::JsonValue(doc).at("tracing").at("full_tracer_overhead_pct").asNumber()
+            << "%)\n";
+
+  if (smoke) {
+    // ctest smoke: the numbers are too small to threshold, but the machinery
+    // must hold together -- deferral engaged and the ring recorded events.
+    const auto& s = util::JsonValue(doc).at("scenarios").asArray().front();
+    if (s.at("eps_deferred_component_solves").asNumber() <= 0.0) {
+      std::cerr << "scale smoke: epsilon deferral never engaged\n";
+      return 1;
+    }
+    if (util::JsonValue(doc).at("tracing").at("ring_records").asNumber() <= 0.0) {
+      std::cerr << "scale smoke: ring sink recorded nothing\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // Perf-regression guard against a committed baseline.
+  const char* baselinePath = std::getenv("BEESIM_BENCH_BASELINE");
+  if (baselinePath != nullptr && *baselinePath != '\0') {
+    std::ifstream in(baselinePath);
+    if (!in) {
+      std::cerr << "guard: cannot read baseline " << baselinePath << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto baseline = util::parseJson(text.str());
+    const double baseSpeedup = baseline.at("headline").at("scale_speedup").asNumber();
+    const char* pctEnv = std::getenv("BEESIM_BENCH_GUARD_PCT");
+    const double pct =
+        pctEnv != nullptr && *pctEnv != '\0' ? std::atof(pctEnv) : 20.0;
+    const double floor = baseSpeedup * (1.0 - pct / 100.0);
+    bool ok = true;
+    if (scaleSpeedup < floor) {
+      std::cerr << "guard FAIL: eps-leg speedup " << scaleSpeedup << "x fell below "
+                << floor << "x (baseline " << baseSpeedup << "x, tolerance " << pct
+                << "%)\n";
+      ok = false;
+    }
+    if (ringOverheadPct > 10.0) {
+      std::cerr << "guard FAIL: ring tracing overhead " << ringOverheadPct
+                << "% exceeds the 10% bound\n";
+      ok = false;
+    }
+    if (ok) {
+      std::cout << "guard PASS: speedup " << scaleSpeedup << "x (baseline "
+                << baseSpeedup << "x, floor " << floor << "x), ring overhead "
+                << ringOverheadPct << "% (bound 10%)\n";
+    }
+    return ok ? 0 : 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = envFlag("BEESIM_BENCH_SMOKE");
+  const bool quick = envFlag("BEESIM_BENCH_QUICK");
+  if (smoke || quick) return runScaleBench(smoke, quick);
   writeFluidCoreBench();
+  const int scaleRc = runScaleBench(false, false);
+  if (scaleRc != 0) return scaleRc;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,7 +1,9 @@
 #include "cli/commands.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <optional>
 
 #include "control/rebalance.hpp"
 #include "core/advisor.hpp"
@@ -65,6 +67,11 @@ harness::RunConfig baseConfig(const Args& args, const topo::ClusterConfig& clust
   harness::RunConfig config;
   config.cluster = cluster;
   config.fs.chooser = chooserFromFlag(args.getString("chooser", "rr"));
+  const auto epsilon = args.getDouble("solver-epsilon", 0.0);
+  if (!std::isfinite(epsilon) || epsilon < 0.0) {
+    throw util::ConfigError("--solver-epsilon must be finite and >= 0 (MiB/s; 0 = exact)");
+  }
+  config.solverEpsilon = epsilon;
   return config;
 }
 
@@ -160,6 +167,8 @@ int cmdRun(const Args& args, std::ostream& out) {
   const auto op = args.getString("op", "write");
   const auto traceFile = args.getString("trace", "");
   const auto traceOut = args.getString("trace-out", "");
+  const auto traceFormat = args.getString("trace-format", "full");
+  const auto ringCap = args.getUnsigned("trace-ring-cap", 1u << 20);
   const auto metricsOut = args.getString("metrics-out", "");
   const auto metricsDt = args.getDouble("metrics-dt", 0.1);
   const auto faultSpec = args.getString("faults", "");
@@ -188,6 +197,18 @@ int cmdRun(const Args& args, std::ostream& out) {
     throw util::ConfigError("--resync-rate must be > 0 (omit the flag for uncapped resync)");
   }
   if (metricsDt <= 0.0) throw util::ConfigError("--metrics-dt must be > 0");
+  if (traceFormat != "full" && traceFormat != "ring") {
+    throw util::ConfigError("--trace-format must be full|ring");
+  }
+  if (args.get("trace-format") && traceFile.empty() && traceOut.empty()) {
+    throw util::ConfigError("--trace-format requires --trace and/or --trace-out");
+  }
+  if (args.get("trace-ring-cap")) {
+    if (traceFormat != "ring") {
+      throw util::ConfigError("--trace-ring-cap requires --trace-format=ring");
+    }
+    if (ringCap == 0) throw util::ConfigError("--trace-ring-cap must be >= 1");
+  }
 
   config.fs.defaultStripe.stripeCount = stripe;
   config.job = ior::IorJob::onFirstNodes(cluster.nodes.size(), ppn);
@@ -306,52 +327,79 @@ int cmdRun(const Args& args, std::ostream& out) {
     // One extra traced run (same seed as the campaign root) with the flow
     // timeline exported as JSONL and/or Chrome-trace JSON, an optional
     // virtual-time metrics series, and a per-resource traffic decomposition.
+    //
+    // --trace-format=ring swaps the event log onto the bounded-memory binary
+    // ring sink (no per-event maps or formatting during the run); the
+    // FlowTracer -- and its utilization/imbalance tables -- is then only
+    // attached when --metrics-out still needs the sampled series.
     util::Rng rng(seed);
     sim::FluidSimulator fluid;
+    if (config.solverEpsilon > 0.0) fluid.setSolverEpsilon(config.solverEpsilon);
     beegfs::Deployment deployment(fluid, cluster, config.fs, rng.split());
     beegfs::FileSystem fs(deployment, rng.split());
-    sim::FlowTracer tracer(fluid);
-    if (!metricsOut.empty() || !traceOut.empty()) tracer.setMetricsInterval(metricsDt);
-    for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
-      tracer.trackLink(deployment.serverNicResource(h), cluster.hosts[h].name);
+    const bool ringMode = traceFormat == "ring";
+    std::optional<sim::RingTraceSink> ring;
+    std::optional<sim::FlowTracer> tracer;
+    if (ringMode) ring.emplace(fluid, ringCap);
+    if (!ringMode || !metricsOut.empty()) {
+      tracer.emplace(fluid);
+      if (!metricsOut.empty() || !traceOut.empty()) tracer->setMetricsInterval(metricsDt);
+      for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
+        tracer->trackLink(deployment.serverNicResource(h), cluster.hosts[h].name);
+      }
     }
     const auto traced = ior::runIor(fs, config.job, config.ior);
     if (!traceFile.empty()) {
-      tracer.writeJsonl(traceFile);
-      out << "trace: wrote " << tracer.events().size() << " events to " << traceFile << "\n";
+      if (ring) {
+        ring->writeJsonl(traceFile);
+        out << "trace: wrote " << ring->size() << " ring records (" << ring->dropped()
+            << " dropped) to " << traceFile << "\n";
+      } else {
+        tracer->writeJsonl(traceFile);
+        out << "trace: wrote " << tracer->events().size() << " events to " << traceFile
+            << "\n";
+      }
     }
     if (!traceOut.empty()) {
-      tracer.writeChromeTrace(traceOut);
-      out << "trace: wrote Chrome trace (" << tracer.events().size() << " events, "
-          << tracer.samples().size() << " samples) to " << traceOut << "\n";
+      if (ring) {
+        ring->writeChromeTrace(traceOut);
+        out << "trace: wrote Chrome trace (" << ring->size() << " ring records, "
+            << ring->dropped() << " dropped) to " << traceOut << "\n";
+      } else {
+        tracer->writeChromeTrace(traceOut);
+        out << "trace: wrote Chrome trace (" << tracer->events().size() << " events, "
+            << tracer->samples().size() << " samples) to " << traceOut << "\n";
+      }
     }
     if (!metricsOut.empty()) {
-      tracer.writeMetricsCsv(metricsOut);
-      out << "metrics: wrote " << tracer.samples().size() << " samples (dt="
+      tracer->writeMetricsCsv(metricsOut);
+      out << "metrics: wrote " << tracer->samples().size() << " samples (dt="
           << util::fmt(metricsDt, 3) << " s) to " << metricsOut << "\n";
     }
-    util::TableWriter usage({"resource", "MiB carried", "busy s", "peak MiB/s"});
-    for (const auto& u : tracer.resourceUsage()) {
-      if (u.mib <= 0.0) continue;
-      usage.addRow({u.name, util::fmt(u.mib, 0), util::fmt(u.busyTime, 2),
-                    util::fmt(u.peakRate, 0)});
+    if (tracer) {
+      util::TableWriter usage({"resource", "MiB carried", "busy s", "peak MiB/s"});
+      for (const auto& u : tracer->resourceUsage()) {
+        if (u.mib <= 0.0) continue;
+        usage.addRow({u.name, util::fmt(u.mib, 0), util::fmt(u.busyTime, 2),
+                      util::fmt(u.peakRate, 0)});
+      }
+      out << usage.render();
+      // Per-server split of the traced run: the measured view of the paper's
+      // (min,max) balance story.
+      const util::Seconds span = traced.end - traced.start;
+      std::vector<double> serverMiB;
+      util::TableWriter servers({"server", "MiB", "busy frac"});
+      for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
+        const auto link = deployment.serverNicResource(h);
+        const double mib = tracer->resourceMiB(link);
+        const double busy = span > 0.0 ? tracer->resourceBusyTime(link) / span : 0.0;
+        servers.addRow({cluster.hosts[h].name, util::fmt(mib, 0), util::fmt(busy, 3)});
+        serverMiB.push_back(mib);
+      }
+      out << servers.render();
+      out << "link_imbalance (max/mean server MiB): "
+          << util::fmt(core::linkImbalance(serverMiB), 3) << "\n";
     }
-    out << usage.render();
-    // Per-server split of the traced run: the measured view of the paper's
-    // (min,max) balance story.
-    const util::Seconds span = traced.end - traced.start;
-    std::vector<double> serverMiB;
-    util::TableWriter servers({"server", "MiB", "busy frac"});
-    for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
-      const auto link = deployment.serverNicResource(h);
-      const double mib = tracer.resourceMiB(link);
-      const double busy = span > 0.0 ? tracer.resourceBusyTime(link) / span : 0.0;
-      servers.addRow({cluster.hosts[h].name, util::fmt(mib, 0), util::fmt(busy, 3)});
-      serverMiB.push_back(mib);
-    }
-    out << servers.render();
-    out << "link_imbalance (max/mean server MiB): "
-        << util::fmt(core::linkImbalance(serverMiB), 3) << "\n";
   }
   return 0;
 }
@@ -503,10 +551,17 @@ std::string usage() {
          "  --jobs N    worker threads for repetitions (default $BEESIM_JOBS, else 1;\n"
          "              0 = all hardware threads; results are identical for any N)\n"
          "  --progress  live status line on stderr (runs done, ETA, slowest config)\n"
+         "  --solver-epsilon E   defer component re-solves while rates provably stay\n"
+         "              within E MiB/s of exact (default 0 = exact, bit-identical)\n"
          "run flags:      --ppn --stripe --total --chooser --reps --pattern n1|nn\n"
          "                --op write|read --trace FILE.jsonl\n"
          "                --trace-out FILE.json   Chrome-trace/Perfetto export of one\n"
          "                            traced run (flows + rate/link counter tracks)\n"
+         "                --trace-format full|ring   full: exact FlowTracer (default);\n"
+         "                            ring: bounded-memory binary record sink, rendered\n"
+         "                            on flush (minimal tracing overhead at scale)\n"
+         "                --trace-ring-cap N      ring capacity in 40-byte records\n"
+         "                            (default 1048576; oldest dropped when full)\n"
          "                --metrics-out FILE.csv  virtual-time metrics series (aggregate\n"
          "                            MiB/s, per-server link MiB/s, link imbalance)\n"
          "                --metrics-dt S          sampling interval (default 0.1)\n"

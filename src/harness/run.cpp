@@ -46,6 +46,7 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
   env.storage = rng.logNormalMedian(1.0, config.noise.storageSigmaLog);
 
   sim::FluidSimulator fluid;
+  if (config.solverEpsilon > 0.0) fluid.setSolverEpsilon(config.solverEpsilon);
   beegfs::Deployment deployment(fluid, config.cluster, config.fs, rng.split(), env);
   beegfs::FileSystem fs(deployment, rng.split());
 
@@ -124,6 +125,7 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
   if (tracer) record.ior.util = measureUtilization(*tracer, deployment, record.ior);
   record.resolves = fluid.resolveCount();
   record.solverIterations = fluid.solverIterations();
+  record.deferredResolves = fluid.deferredResolves();
   record.solveSeconds = fluid.solveSeconds();
   record.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();

@@ -64,6 +64,11 @@ struct RunConfig {
   /// controller is then never constructed and the run stays bitwise
   /// identical to pre-controller builds.
   control::RebalancePolicy rebalance;
+  /// ε bound for the fluid core's deferred re-solves (DESIGN.md §2.7).
+  /// 0 (the default) is the exact path -- bitwise identical to pre-ε builds;
+  /// > 0 lets every flow's rate lag the exact max-min solution by at most
+  /// this many MiB/s between structural events.
+  double solverEpsilon = 0.0;
 };
 
 struct RunRecord {
@@ -86,6 +91,8 @@ struct RunRecord {
   /// Solver work done by this run (always filled; the counters are free).
   std::size_t resolves = 0;
   std::size_t solverIterations = 0;
+  /// Component re-solves skipped under the ε bound (0 on the exact path).
+  std::size_t deferredResolves = 0;
   /// Host wall-clock cost of the run; solveSeconds stays 0 unless
   /// observe.profile is on (the solver never reads the clock otherwise).
   double wallSeconds = 0.0;

@@ -23,6 +23,22 @@
 // bookkeeping lives in flat slot-indexed arrays reused across the run; a
 // steady-state resolve performs zero heap allocations.
 //
+// ε-bounded resolution (setSolverEpsilon): on top of the exact component
+// decomposition, a component whose dirtiness stems *only* from capacity
+// drift may be deferred when the accumulated drift provably cannot move any
+// of its rates by more than ε.  The bound is the conservative slack
+// Σ_r |Δcapacity_r| over the component's resources since its last exact
+// solve (weighted max-min rates are 1-Lipschitz in each capacity, and
+// deviations are subadditive across changes), so skipped components keep
+// rates within ε MiB/s of the exact allocation.  Deferral composes with the
+// completion horizons: a deferred component's horizon stays valid because
+// its simulated rates are unchanged, and any structural event (flow start,
+// completion, cancellation, merge, capacity hitting or leaving zero) forces
+// an exact solve, which resets the drift.  The dirty-root list is thus the
+// propagation frontier: a rate change travels exactly as far as it can
+// matter, and with ε = 0 (the default) behavior is bit-identical to the
+// always-exact path.
+//
 // Setting BEESIM_SOLVER_CHECK=1 (or setSolverCheck(true)) turns on a
 // differential mode that re-solves every resolve from scratch over all live
 // flows and asserts the incremental rates match to 1e-9 relative.
@@ -185,6 +201,22 @@ class FluidSimulator {
   /// time (e.g. after an external capacity change).
   void invalidateCapacities();
 
+  /// Tolerance (MiB/s) for ε-bounded resolution: a component dirtied only by
+  /// capacity drift is re-solved lazily, once the accumulated per-resource
+  /// capacity deltas could move some rate by more than ε (see the header
+  /// comment for the bound).  0 (the default) keeps every resolve exact --
+  /// and every golden byte identical.  Must be >= 0.
+  void setSolverEpsilon(double epsilon);
+  double solverEpsilon() const { return epsilon_; }
+
+  /// Resolves skipped under the ε bound (diagnostics / scale bench).
+  std::size_t deferredResolves() const { return deferredResolves_; }
+
+  /// Use the scalar reference solver walk instead of the SoA fast path.
+  /// Rates are bit-identical either way (see sim/maxmin.hpp); this exists so
+  /// the scale benchmark can measure the PR-2-era baseline in place.
+  void setReferenceSolver(bool enabled) { referenceSolver_ = enabled; }
+
   /// Attach an observer (nullptr detaches).  A single slot with clobbering
   /// semantics -- prefer addObserver/removeObserver, which compose.  The
   /// caller keeps ownership and must outlive the simulation.
@@ -259,7 +291,10 @@ class FluidSimulator {
   // Union-find over resources (merge-only; reset when the system drains).
   std::uint32_t findRoot(std::uint32_t r) const;
   std::uint32_t unite(std::uint32_t a, std::uint32_t b, SimTime at);
-  void markDirty(std::uint32_t root);
+  /// Mark a component for re-solve.  `structural` records membership changes
+  /// (start/completion/cancel/merge, zero-capacity transitions), which the
+  /// ε deferral must never skip; pure capacity drift may be deferred.
+  void markDirty(std::uint32_t root, bool structural = true);
   void listComponent(std::uint32_t root);
   void resetComponents();
 
@@ -285,8 +320,13 @@ class FluidSimulator {
   std::vector<double> resCapacity_;      // last evaluated capacity
   std::vector<std::uint32_t> resFlowCount_;
   std::vector<double> resQueueDepth_;
+  std::vector<char> resLoaded_;          // member of loadedRes_
   mutable std::vector<std::uint32_t> ufParent_;  // path compression in findRoot
   std::vector<std::uint32_t> ufSize_;
+  /// Resources with at least one crossing flow (lazily compacted): the
+  /// per-resolve capacity evaluation walks this list, so its cost scales
+  /// with the *loaded* inventory, not the cluster-wide resource count.
+  std::vector<std::uint32_t> loadedRes_;
 
   // --- Per-component state (indexed by union-find root resource) ---
   std::vector<std::uint32_t> compHead_;  // intrusive flow-slot list
@@ -295,6 +335,8 @@ class FluidSimulator {
   std::vector<SimTime> compLastProgress_;
   std::vector<SimTime> compNextCompletion_;  // absolute; +inf when unknown
   std::vector<char> compDirty_;
+  std::vector<char> compStructural_;  // dirtiness includes a membership change
+  std::vector<double> compCapDrift_;  // Σ|Δcapacity| since the last exact solve
   std::vector<char> compListed_;
   std::vector<std::uint32_t> activeRoots_;  // lazily filtered
   std::vector<std::uint32_t> dirtyRoots_;
@@ -332,6 +374,8 @@ class FluidSimulator {
   bool resolvePending_ = false;
   bool pendingAllDirty_ = false;
   bool solverCheck_ = false;
+  bool referenceSolver_ = false;
+  double epsilon_ = 0.0;
   Seconds resolveInterval_ = 0.0;
   std::optional<EventId> wakeup_;
   FluidObserver* observer_ = nullptr;
@@ -340,6 +384,7 @@ class FluidSimulator {
   std::size_t resolveCount_ = 0;
   std::size_t solverIterations_ = 0;
   std::size_t lastSolvedFlows_ = 0;
+  std::size_t deferredResolves_ = 0;
   bool profiling_ = false;
   double solveSeconds_ = 0.0;
 };

@@ -25,6 +25,25 @@
 //     flows (one connected component at a time).  All scratch state lives in
 //     the workspace and is reused across solves, so a steady-state resolve
 //     performs zero heap allocations.
+//
+// Layout: solveSubset compacts the named subset into dense structure-of-
+// arrays vectors (per-flow weight/cap/rate, per-resource residual/active
+// weight, locally renumbered adjacency) so the progressive-filling inner
+// loops -- the delta scan, the uniform increment and the residual update --
+// run branch-free over contiguous memory and auto-vectorize.  The compaction
+// produces bit-identical rates to the scalar reference walk
+// (solveSubsetReference, the pre-SoA implementation kept for differential
+// testing): every floating-point operation is performed on the same values
+// in the same order, frozen flows merely receive `+= delta * 0.0` instead of
+// being skipped.
+//
+// Degenerate inputs are well-defined:
+//   * a flow crossing a zero-capacity resource receives rate 0 (it never
+//     enters the filling and contributes no weight anywhere);
+//   * a subset whose flows are all dead this way solves to all-zero rates;
+//   * a flow with weight <= 0 or an empty resource list is a contract
+//     violation (ContractError) -- weights are queue depths and must be
+//     positive for the weighted allocation to be defined.
 #pragma once
 
 #include <cstdint>
@@ -84,9 +103,18 @@ class SolverWorkspace {
   /// The subset must be self-contained (a union of connected components):
   /// rates are computed as if no other flow existed.  Flows crossing a
   /// zero-capacity resource receive rate 0.  Returns the number of filling
-  /// iterations.
+  /// iterations.  This is the SoA fast path; it produces bit-identical
+  /// rates to solveSubsetReference.
   std::size_t solveSubset(const SolverView& view, std::span<const std::uint32_t> flows,
                           std::span<double> rates);
+
+  /// The pre-SoA scalar implementation (gather/scatter through the CSR view
+  /// per iteration).  Kept as the reference for differential tests pinning
+  /// the SoA layout, and as the baseline leg of the scale benchmark.
+  /// Identical contract and bit-identical results.
+  std::size_t solveSubsetReference(const SolverView& view,
+                                   std::span<const std::uint32_t> flows,
+                                   std::span<double> rates);
 
  private:
   void ensureResourceCapacity(std::size_t resourceCount);
@@ -102,13 +130,37 @@ class SolverWorkspace {
   // Compact per-solve lists (reused capacity).
   std::vector<std::uint32_t> touchedRes_;
   std::vector<std::uint32_t> activeFlows_;
+
+  // --- Dense SoA state (solveSubset fast path; reused capacity) ---------
+  // Global resource index -> dense id, valid when resStamp_ == stamp_.
+  std::vector<std::uint32_t> resDense_;
+  // Per dense resource.
+  std::vector<double> rCapacity_;
+  std::vector<double> rResidual_;
+  std::vector<double> rActiveWeight_;
+  std::vector<std::uint32_t> rActiveCount_;
+  std::vector<char> rSaturated_;
+  // Per dense flow.  fActiveW holds the weight while the flow is filling and
+  // exactly 0.0 once frozen (so the increment loop is branch-free); fCapOrInf
+  // holds the rate cap while the flow is filling *and* capped, +inf
+  // otherwise (so the cap scan is branch-free and frozen flows never
+  // re-tighten delta).
+  std::vector<std::uint32_t> fSlot_;
+  std::vector<double> fWeight_;
+  std::vector<double> fActiveW_;
+  std::vector<double> fCapOrInf_;
+  std::vector<double> fRate_;
+  std::vector<std::uint32_t> fAdjOffset_;
+  std::vector<std::uint32_t> fAdjLen_;
+  std::vector<std::uint32_t> denseAdj_;
+  std::vector<std::uint32_t> activeList_;
 };
 
 /// Computes the max-min fair allocation.
 ///
 /// Preconditions: every flow crosses at least one resource; all resource
-/// indices are in range; capacities are >= 0.  Flows through a zero-capacity
-/// resource receive rate 0.
+/// indices are in range; capacities are >= 0; weights are > 0.  Flows
+/// through a zero-capacity resource receive rate 0.
 SolverResult solveMaxMin(std::span<const SolverResource> resources,
                          std::span<const SolverFlow> flows);
 

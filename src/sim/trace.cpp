@@ -323,4 +323,167 @@ void FlowTracer::writeMetricsCsv(const std::filesystem::path& path) const {
   if (!out) throw util::IoError("failed writing metrics file: " + path.string());
 }
 
+// --- RingTraceSink -----------------------------------------------------
+
+RingTraceSink::RingTraceSink(FluidSimulator& fluid, std::size_t capacity)
+    : fluid_(fluid) {
+  BEESIM_ASSERT(capacity >= 1, "ring trace sink needs capacity >= 1 record");
+  records_.resize(capacity);  // the sink's only allocation
+  fluid_.addObserver(this);
+}
+
+RingTraceSink::~RingTraceSink() { fluid_.removeObserver(this); }
+
+void RingTraceSink::push(const RingRecord& record) {
+  records_[static_cast<std::size_t>(written_ % records_.size())] = record;
+  ++written_;
+}
+
+std::size_t RingTraceSink::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(written_, records_.size()));
+}
+
+std::uint64_t RingTraceSink::dropped() const { return written_ - size(); }
+
+void RingTraceSink::onFlowStarted(FlowId id, std::span<const ResourceIndex> path,
+                                  util::Bytes bytes, SimTime at) {
+  RingRecord r;
+  r.time = at;
+  r.flow = id.value;
+  r.bytes = bytes;
+  r.kind = static_cast<std::uint32_t>(TraceEvent::Kind::kStart);
+  r.aux = static_cast<std::uint32_t>(path.size());
+  push(r);
+}
+
+void RingTraceSink::onRatesSolved(SimTime at, std::span<const FlowId> ids,
+                                  std::span<const util::MiBps> rates,
+                                  std::size_t activeFlows) {
+  (void)ids;
+  double solved = 0.0;
+  for (const auto rate : rates) solved += rate;
+  RingRecord r;
+  r.time = at;
+  r.bytes = activeFlows;
+  r.value = solved;
+  r.kind = static_cast<std::uint32_t>(TraceEvent::Kind::kRates);
+  r.aux = static_cast<std::uint32_t>(rates.size());
+  push(r);
+}
+
+void RingTraceSink::onFlowCompleted(const FlowStats& stats) {
+  RingRecord r;
+  r.time = stats.endTime;
+  r.flow = stats.id.value;
+  r.bytes = stats.bytes;
+  r.value = stats.meanRate();
+  r.kind = static_cast<std::uint32_t>(TraceEvent::Kind::kComplete);
+  push(r);
+}
+
+void RingTraceSink::onFlowCancelled(const FlowStats& stats) {
+  RingRecord r;
+  r.time = stats.endTime;
+  r.flow = stats.id.value;
+  r.bytes = stats.bytes;  // bytes NOT transferred (see FluidObserver)
+  r.kind = static_cast<std::uint32_t>(TraceEvent::Kind::kCancel);
+  push(r);
+}
+
+std::vector<RingRecord> RingTraceSink::snapshot() const {
+  const std::size_t n = size();
+  std::vector<RingRecord> out;
+  out.reserve(n);
+  // Oldest retained record lives at written_ - n (mod capacity).
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(
+        records_[static_cast<std::size_t>((written_ - n + i) % records_.size())]);
+  }
+  return out;
+}
+
+std::string RingTraceSink::toJsonl() const {
+  std::string out;
+  if (dropped() > 0) {
+    out += "{\"ev\":\"drops\",\"count\":" + std::to_string(dropped()) + "}\n";
+  }
+  for (const auto& r : snapshot()) {
+    switch (static_cast<TraceEvent::Kind>(r.kind)) {
+      case TraceEvent::Kind::kStart:
+        out += "{\"ev\":\"start\",\"t\":" + util::fmt(r.time, 6) +
+               ",\"flow\":" + std::to_string(r.flow) +
+               ",\"bytes\":" + std::to_string(r.bytes) + "}\n";
+        break;
+      case TraceEvent::Kind::kRates:
+        out += "{\"ev\":\"rates\",\"t\":" + util::fmt(r.time, 6) +
+               ",\"active\":" + std::to_string(r.bytes) +
+               ",\"solved\":" + std::to_string(r.aux) +
+               ",\"solved_mibps\":" + util::fmt(r.value, 3) + "}\n";
+        break;
+      case TraceEvent::Kind::kComplete:
+        out += "{\"ev\":\"complete\",\"t\":" + util::fmt(r.time, 6) +
+               ",\"flow\":" + std::to_string(r.flow) +
+               ",\"bytes\":" + std::to_string(r.bytes) +
+               ",\"mean_mibps\":" + util::fmt(r.value, 3) + "}\n";
+        break;
+      case TraceEvent::Kind::kCancel:
+        out += "{\"ev\":\"cancel\",\"t\":" + util::fmt(r.time, 6) +
+               ",\"flow\":" + std::to_string(r.flow) +
+               ",\"bytes_left\":" + std::to_string(r.bytes) + "}\n";
+        break;
+    }
+  }
+  return out;
+}
+
+void RingTraceSink::writeJsonl(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot write trace file: " + path.string());
+  out << toJsonl();
+  if (!out) throw util::IoError("failed writing trace file: " + path.string());
+}
+
+std::string RingTraceSink::toChromeTrace() const {
+  const auto ts = [](SimTime t) { return util::fmt(t * 1e6, 3); };
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"beesim\"}}";
+  for (const auto& r : snapshot()) {
+    switch (static_cast<TraceEvent::Kind>(r.kind)) {
+      case TraceEvent::Kind::kStart:
+        out += ",\n{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"b\",\"id\":" +
+               std::to_string(r.flow) + ",\"pid\":1,\"tid\":1,\"ts\":" + ts(r.time) +
+               ",\"args\":{\"bytes\":" + std::to_string(r.bytes) + "}}";
+        break;
+      case TraceEvent::Kind::kComplete:
+        out += ",\n{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"e\",\"id\":" +
+               std::to_string(r.flow) + ",\"pid\":1,\"tid\":1,\"ts\":" + ts(r.time) +
+               ",\"args\":{\"mean_mibps\":" + util::fmt(r.value, 3) + "}}";
+        break;
+      case TraceEvent::Kind::kCancel:
+        out += ",\n{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"e\",\"id\":" +
+               std::to_string(r.flow) + ",\"pid\":1,\"tid\":1,\"ts\":" + ts(r.time) +
+               ",\"args\":{\"cancelled\":true,\"bytes_left\":" +
+               std::to_string(r.bytes) + "}}";
+        break;
+      case TraceEvent::Kind::kRates:
+        out += ",\n{\"name\":\"solved_mibps\",\"ph\":\"C\",\"pid\":1,\"ts\":" +
+               ts(r.time) + ",\"args\":{\"mibps\":" + util::fmt(r.value, 3) + "}}";
+        out += ",\n{\"name\":\"active_flows\",\"ph\":\"C\",\"pid\":1,\"ts\":" +
+               ts(r.time) + ",\"args\":{\"flows\":" + std::to_string(r.bytes) + "}}";
+        break;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void RingTraceSink::writeChromeTrace(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot write trace file: " + path.string());
+  out << toChromeTrace();
+  if (!out) throw util::IoError("failed writing trace file: " + path.string());
+}
+
 }  // namespace beesim::sim

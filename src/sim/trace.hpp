@@ -22,6 +22,15 @@
 // The tracer is exact, not sampled: it banks rate * dt on every re-solve.
 // It attaches through FluidSimulator::addObserver, so it composes with any
 // other observer instead of clobbering the slot (see sim/observer_hub.hpp).
+//
+// For cluster-scale runs the FlowTracer's per-event map lookups and O(path)
+// delta accounting dominate: tracing can cost tens of percent of wall time.
+// RingTraceSink is the cheap alternative (--trace-format=ring): every
+// observer callback appends one fixed-width 40-byte binary record to a
+// preallocated ring buffer -- no map, no per-resource state, no allocation,
+// no formatting -- and the ring is rendered to JSONL / Chrome-trace only on
+// flush.  When the ring wraps, the oldest records are overwritten and
+// counted (dropped()), so memory stays bounded no matter how long the run.
 #pragma once
 
 #include <filesystem>
@@ -182,6 +191,81 @@ class FlowTracer final : public FluidObserver {
   std::vector<ResourceIndex> trackedLinks_;
   std::vector<std::string> linkNames_;
   std::function<void(const MetricsSample&)> sampleListener_;
+};
+
+/// One fixed-width binary trace record.  Exactly 40 bytes and trivially
+/// copyable, so a ring of them is a single flat allocation and an append is
+/// one struct store.  Field meaning by kind (TraceEvent::Kind values):
+///   kStart:    flow = id, bytes = size,              aux = path length
+///   kRates:    flow = 0,  bytes = active flow count, value = sum of the
+///              re-solved flows' rates (MiB/s),       aux = flows re-solved
+///   kComplete: flow = id, bytes = moved, value = mean MiB/s
+///   kCancel:   flow = id, bytes = bytes left untransferred
+struct RingRecord {
+  double time = 0.0;
+  std::uint64_t flow = 0;
+  std::uint64_t bytes = 0;
+  double value = 0.0;
+  std::uint32_t kind = 0;  // static_cast<uint32_t>(TraceEvent::Kind)
+  std::uint32_t aux = 0;
+};
+static_assert(sizeof(RingRecord) == 40, "ring record layout is part of the format");
+
+/// Bounded-memory, allocation-free event sink (--trace-format=ring).
+///
+/// Attaches through addObserver like FlowTracer and records the same flow
+/// lifecycle, but keeps no per-flow or per-resource state: each callback
+/// writes one RingRecord into a preallocated ring.  Rate events therefore
+/// carry the *re-solved components'* aggregate rate, not the global total
+/// (maintaining the global total is exactly the per-flow bookkeeping this
+/// sink exists to avoid); the JSONL drain labels it `solved_mibps`.
+class RingTraceSink final : public FluidObserver {
+ public:
+  /// `capacity` is the ring size in records (40 bytes each); once exceeded,
+  /// the oldest records are overwritten and counted in dropped().
+  RingTraceSink(FluidSimulator& fluid, std::size_t capacity);
+  ~RingTraceSink() override;
+
+  RingTraceSink(const RingTraceSink&) = delete;
+  RingTraceSink& operator=(const RingTraceSink&) = delete;
+
+  // FluidObserver:
+  void onFlowStarted(FlowId id, std::span<const ResourceIndex> path, util::Bytes bytes,
+                     SimTime at) override;
+  void onRatesSolved(SimTime at, std::span<const FlowId> ids,
+                     std::span<const util::MiBps> rates, std::size_t activeFlows) override;
+  void onFlowCompleted(const FlowStats& stats) override;
+  void onFlowCancelled(const FlowStats& stats) override;
+
+  std::size_t capacity() const { return records_.size(); }
+  /// Records currently held (<= capacity()).
+  std::size_t size() const;
+  /// Total records ever appended, including overwritten ones.
+  std::uint64_t recorded() const { return written_; }
+  /// Records lost to ring wrap-around (recorded() - size()).
+  std::uint64_t dropped() const;
+
+  /// The retained records, oldest first (copies out of the ring; the live
+  /// ring is never exposed because its physical order wraps).
+  std::vector<RingRecord> snapshot() const;
+
+  /// Render the retained records as JSONL (same event vocabulary as
+  /// FlowTracer::toJsonl; rates lines carry `solved_mibps`).  When records
+  /// were dropped, the first line is {"ev":"drops","count":N}.
+  std::string toJsonl() const;
+  void writeJsonl(const std::filesystem::path& path) const;
+
+  /// Render as Chrome-trace JSON: flows as async b/e events plus
+  /// solved_mibps / active_flows counter tracks.
+  std::string toChromeTrace() const;
+  void writeChromeTrace(const std::filesystem::path& path) const;
+
+ private:
+  void push(const RingRecord& record);
+
+  FluidSimulator& fluid_;
+  std::vector<RingRecord> records_;  // fixed size; slot = written_ % capacity
+  std::uint64_t written_ = 0;
 };
 
 }  // namespace beesim::sim

@@ -208,5 +208,152 @@ TEST_P(MaxMinPropertyTest, FeasibleAndMaxMinOptimal) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, MaxMinPropertyTest, ::testing::Range(0, 25));
 
+// --- SoA fast path vs reference walk -----------------------------------
+
+/// A random CSR problem plus the flat arrays SolverWorkspace consumes.
+struct CsrProblem {
+  std::vector<double> capacity;
+  std::vector<std::uint32_t> adjacency;
+  std::vector<std::uint32_t> adjOffset;
+  std::vector<std::uint32_t> adjLen;
+  std::vector<double> weight;
+  std::vector<double> rateCap;
+  std::vector<std::uint32_t> subset;
+
+  SolverView view() const {
+    return SolverView{capacity, adjacency, adjOffset, adjLen, weight, rateCap};
+  }
+};
+
+CsrProblem randomCsrProblem(std::uint64_t seed) {
+  util::Rng rng(seed);
+  CsrProblem p;
+  const auto nRes = static_cast<std::size_t>(rng.uniformInt(1, 10));
+  const auto nFlows = static_cast<std::size_t>(rng.uniformInt(1, 48));
+  for (std::size_t r = 0; r < nRes; ++r) {
+    // ~15% dead resources so the degenerate path is exercised routinely.
+    p.capacity.push_back(rng.bernoulli(0.15) ? 0.0 : rng.uniform(10.0, 1000.0));
+  }
+  for (std::size_t f = 0; f < nFlows; ++f) {
+    p.adjOffset.push_back(static_cast<std::uint32_t>(p.adjacency.size()));
+    const auto pathLen = static_cast<std::size_t>(
+        rng.uniformInt(1, static_cast<std::int64_t>(nRes)));
+    p.adjLen.push_back(static_cast<std::uint32_t>(pathLen));
+    for (const auto r : rng.sampleWithoutReplacement(nRes, pathLen)) {
+      p.adjacency.push_back(static_cast<std::uint32_t>(r));
+    }
+    p.weight.push_back(rng.uniform(0.5, 4.0));
+    p.rateCap.push_back(rng.bernoulli(0.3) ? rng.uniform(1.0, 300.0) : 0.0);
+    p.subset.push_back(static_cast<std::uint32_t>(f));
+  }
+  return p;
+}
+
+TEST(SolverSoA, MatchesReferenceBitwiseOnRandomProblems) {
+  // The SoA compaction performs the same floating-point operations in the
+  // same order as the reference walk (weights accumulate in flow-then-
+  // adjacency order, min over delta candidates is order-independent, frozen
+  // flows add delta * 0.0), so the two paths must agree bit for bit -- not
+  // within a tolerance.  This equality is what lets ε = 0 runs keep their
+  // golden CSV bytes across the layout change.
+  for (std::uint64_t seed = 500; seed < 540; ++seed) {
+    const auto p = randomCsrProblem(seed);
+    SolverWorkspace fast;
+    SolverWorkspace reference;
+    std::vector<double> fastRates(p.subset.size(), -1.0);
+    std::vector<double> referenceRates(p.subset.size(), -1.0);
+    const auto fastIters = fast.solveSubset(p.view(), p.subset, fastRates);
+    const auto refIters =
+        reference.solveSubsetReference(p.view(), p.subset, referenceRates);
+    EXPECT_EQ(fastIters, refIters) << "seed " << seed;
+    for (std::size_t f = 0; f < fastRates.size(); ++f) {
+      EXPECT_EQ(fastRates[f], referenceRates[f])
+          << "seed " << seed << " flow " << f << " diverged";
+    }
+  }
+}
+
+TEST(SolverSoA, WorkspaceReuseDoesNotLeakStateAcrossSolves) {
+  // One workspace solving many unrelated problems back to back must give the
+  // same answers as fresh workspaces (the stamp discipline, not clearing,
+  // isolates solves).
+  SolverWorkspace reused;
+  for (std::uint64_t seed = 700; seed < 715; ++seed) {
+    const auto p = randomCsrProblem(seed);
+    std::vector<double> reusedRates(p.subset.size(), 0.0);
+    std::vector<double> freshRates(p.subset.size(), 0.0);
+    reused.solveSubset(p.view(), p.subset, reusedRates);
+    SolverWorkspace fresh;
+    fresh.solveSubset(p.view(), p.subset, freshRates);
+    EXPECT_EQ(reusedRates, freshRates) << "seed " << seed;
+  }
+}
+
+TEST(SolverSoA, ZeroCapacityFlowsAreDeadAndReleaseTheirShare) {
+  // Degenerate-input semantics (documented on solveSubset): a flow crossing
+  // a zero-capacity resource gets rate 0 and contributes no weight anywhere,
+  // so survivors split the healthy capacity as if the dead flow were absent.
+  const std::vector<double> capacity{120.0, 0.0};
+  const std::vector<std::uint32_t> adjacency{0, 0, 1, 0};
+  const std::vector<std::uint32_t> adjOffset{0, 1, 3};
+  const std::vector<std::uint32_t> adjLen{1, 2, 1};
+  const std::vector<double> weight{1.0, 5.0, 2.0};
+  const std::vector<double> rateCap{0.0, 0.0, 0.0};
+  const SolverView view{capacity, adjacency, adjOffset, adjLen, weight, rateCap};
+  const std::vector<std::uint32_t> subset{0, 1, 2};
+  std::vector<double> rates(3, -1.0);
+  SolverWorkspace workspace;
+  workspace.solveSubset(view, subset, rates);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0) << "dead flow (crosses the 0-capacity link)";
+  EXPECT_NEAR(rates[0], 40.0, 1e-9) << "1:2 weighted split of 120";
+  EXPECT_NEAR(rates[2], 80.0, 1e-9);
+}
+
+TEST(SolverSoA, EmptySubsetSolvesNothing) {
+  const std::vector<double> capacity{100.0};
+  const std::vector<std::uint32_t> adjacency{0};
+  const std::vector<std::uint32_t> adjOffset{0};
+  const std::vector<std::uint32_t> adjLen{1};
+  const std::vector<double> weight{1.0};
+  const std::vector<double> rateCap{0.0};
+  const SolverView view{capacity, adjacency, adjOffset, adjLen, weight, rateCap};
+  SolverWorkspace workspace;
+  std::vector<double> rates{-1.0};
+  EXPECT_EQ(workspace.solveSubset(view, {}, rates), 0u);
+  EXPECT_DOUBLE_EQ(rates[0], -1.0) << "rates outside the subset are untouched";
+}
+
+TEST(SolverSoA, AllDeadSubsetTerminatesWithZeroRates) {
+  const std::vector<double> capacity{0.0};
+  const std::vector<std::uint32_t> adjacency{0, 0};
+  const std::vector<std::uint32_t> adjOffset{0, 1};
+  const std::vector<std::uint32_t> adjLen{1, 1};
+  const std::vector<double> weight{1.0, 2.0};
+  const std::vector<double> rateCap{0.0, 50.0};
+  const SolverView view{capacity, adjacency, adjOffset, adjLen, weight, rateCap};
+  const std::vector<std::uint32_t> subset{0, 1};
+  std::vector<double> rates(2, -1.0);
+  SolverWorkspace workspace;
+  EXPECT_EQ(workspace.solveSubset(view, subset, rates), 0u);
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+}
+
+TEST(SolverSoA, InvalidFlowsAreRejected) {
+  const std::vector<double> capacity{100.0};
+  const std::vector<std::uint32_t> adjacency{0, 7};
+  const std::vector<std::uint32_t> adjOffset{0, 1};
+  const std::vector<std::uint32_t> adjLen{0, 1};  // slot 0: empty path
+  const std::vector<double> weight{1.0, 1.0};
+  const std::vector<double> rateCap{0.0, 0.0};
+  const SolverView view{capacity, adjacency, adjOffset, adjLen, weight, rateCap};
+  SolverWorkspace workspace;
+  std::vector<double> rates(2, 0.0);
+  const std::vector<std::uint32_t> emptyPath{0};
+  EXPECT_THROW(workspace.solveSubset(view, emptyPath, rates), util::ContractError);
+  const std::vector<std::uint32_t> unknownRes{1};  // adjacency says resource 7
+  EXPECT_THROW(workspace.solveSubset(view, unknownRes, rates), util::ContractError);
+}
+
 }  // namespace
 }  // namespace beesim::sim

@@ -141,5 +141,68 @@ TEST(Simulator, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(sim.step());
 }
 
+/// Drive `sim` through a deterministic but adversarial schedule -- duplicate
+/// timestamps, cancellations (pending, fired and stale), callbacks that
+/// schedule and cancel more events -- and return the dispatch order.
+std::vector<int> adversarialDispatchOrder(Simulator& sim) {
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 40; ++i) {
+    // Timestamps collide on purpose: i%7 buckets, FIFO inside each.
+    ids.push_back(sim.schedule(1.0 + i % 7, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 40; i += 5) sim.cancel(ids[i]);  // pending cancels
+  sim.schedule(2.5, [&] {
+    order.push_back(100);
+    for (int i = 1; i < 40; i += 10) sim.cancel(ids[i]);  // mid-run cancels
+    sim.schedule(2.5, [&order] { order.push_back(101); });  // same instant
+    sim.scheduleAfter(10.0, [&order] { order.push_back(102); });
+  });
+  sim.runUntil(3.0);
+  sim.cancel(ids[3]);  // stale cancel: already fired at t=1+3
+  sim.run();
+  return order;
+}
+
+TEST(Simulator, DispatchOrderIsShardCountInvariant) {
+  // Every event carries a globally unique sequence number, so (time,
+  // sequence) is a total order and the shard decomposition must be
+  // invisible: any shard count -- including 1, the legacy monolithic heap --
+  // yields the identical dispatch sequence.  Golden-CSV byte-identity
+  // across builds rests on exactly this property.
+  Simulator mono(1);
+  const auto expected = adversarialDispatchOrder(mono);
+  ASSERT_FALSE(expected.empty());
+  for (const std::size_t shards : {2u, 3u, 8u, 16u}) {
+    Simulator sim(shards);
+    EXPECT_EQ(sim.shardCount(), shards);
+    EXPECT_EQ(adversarialDispatchOrder(sim), expected) << shards << " shards";
+  }
+  Simulator dflt;
+  EXPECT_EQ(dflt.shardCount(), Simulator::kDefaultShards);
+  EXPECT_EQ(adversarialDispatchOrder(dflt), expected);
+}
+
+TEST(Simulator, RunUntilStopsAtLimitWithCancelledFront) {
+  // A cancelled event sitting at the global front must not make runUntil
+  // overshoot: the purge retires it so the clock advances to the limit, not
+  // to the next live event's timestamp.
+  Simulator sim;
+  bool lateRan = false;
+  const auto cancelled = sim.schedule(1.0, [] { FAIL() << "cancelled event ran"; });
+  sim.schedule(5.0, [&] { lateRan = true; });
+  sim.cancel(cancelled);
+  EXPECT_EQ(sim.runUntil(2.0), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_FALSE(lateRan);
+  sim.run();
+  EXPECT_TRUE(lateRan);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, ZeroShardsThrows) {
+  EXPECT_THROW(Simulator(0), util::ContractError);
+}
+
 }  // namespace
 }  // namespace beesim::sim

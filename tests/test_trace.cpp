@@ -6,6 +6,7 @@
 #include "beegfs/filesystem.hpp"
 #include "ior/runner.hpp"
 #include "topology/plafrim.hpp"
+#include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/string_util.hpp"
 #include "util/units.hpp"
@@ -146,6 +147,145 @@ TEST(Trace, DetachesOnDestruction) {
                            .rateCap = 0.0, .onComplete = nullptr});
   fluid.run();
   SUCCEED();
+}
+
+// --- RingTraceSink ------------------------------------------------------
+
+TEST(RingTrace, RecordsFlowLifecycle) {
+  FluidSimulator fluid;
+  RingTraceSink ring(fluid, 64);
+  const auto nic = fluid.addResource(ResourceSpec{"nic", constantCapacity(200.0)});
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(100.0)});
+  const auto id = fluid.startFlow(FlowSpec{.path = {nic, link}, .bytes = 100_MiB,
+                                           .queueWeight = 1.0, .rateCap = 0.0,
+                                           .onComplete = nullptr});
+  fluid.run();
+
+  EXPECT_EQ(ring.capacity(), 64u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.recorded(), ring.size());
+  const auto records = ring.snapshot();
+  ASSERT_GE(records.size(), 3u);
+  EXPECT_EQ(records.front().kind,
+            static_cast<std::uint32_t>(TraceEvent::Kind::kStart));
+  EXPECT_EQ(records.front().flow, id.value);
+  EXPECT_EQ(records.front().bytes, 100_MiB);
+  EXPECT_EQ(records.front().aux, 2u) << "kStart aux carries the path length";
+  EXPECT_EQ(records.back().kind,
+            static_cast<std::uint32_t>(TraceEvent::Kind::kComplete));
+  EXPECT_EQ(records.back().bytes, 100_MiB);
+  EXPECT_NEAR(records.back().value, 100.0, 1e-6) << "kComplete value = mean MiB/s";
+  // Snapshot is oldest first and time-sorted.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].time, records[i].time);
+  }
+}
+
+TEST(RingTrace, WrapOverwritesOldestAndCountsDrops) {
+  FluidSimulator fluid;
+  RingTraceSink ring(fluid, 4);
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(100.0)});
+  for (int i = 0; i < 6; ++i) {
+    fluid.startFlowAt(static_cast<double>(i), FlowSpec{
+        .path = {link}, .bytes = 10_MiB, .queueWeight = 1.0, .rateCap = 0.0,
+        .onComplete = nullptr});
+  }
+  fluid.run();
+
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_GT(ring.recorded(), 4u);
+  EXPECT_EQ(ring.dropped(), ring.recorded() - 4u);
+  const auto records = ring.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // The retained window is the *newest* records, oldest first.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].time, records[i].time);
+  }
+  EXPECT_EQ(records.back().kind,
+            static_cast<std::uint32_t>(TraceEvent::Kind::kComplete));
+  // The drain announces the loss up front.
+  const auto jsonl = ring.toJsonl();
+  const auto firstLine = jsonl.substr(0, jsonl.find('\n'));
+  const auto doc = util::parseJson(firstLine);
+  EXPECT_EQ(doc.at("ev").asString(), "drops");
+  EXPECT_EQ(static_cast<std::uint64_t>(doc.at("count").asNumber()), ring.dropped());
+}
+
+TEST(RingTrace, JsonlLinesAreValidJson) {
+  FluidSimulator fluid;
+  RingTraceSink ring(fluid, 256);
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(10.0)});
+  const auto id = fluid.startFlow(FlowSpec{.path = {link}, .bytes = 10_MiB,
+                                           .queueWeight = 1.0, .rateCap = 0.0,
+                                           .onComplete = nullptr});
+  fluid.engine().schedule(0.5, [&] { fluid.cancelFlow(id); });
+  fluid.run();
+
+  int lines = 0;
+  bool sawCancel = false;
+  for (const auto& line : util::split(ring.toJsonl(), '\n')) {
+    if (line.empty()) continue;
+    ++lines;
+    const auto doc = util::parseJson(line);
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_TRUE(doc.has("ev"));
+    if (doc.at("ev").asString() == "cancel") sawCancel = true;
+  }
+  EXPECT_GE(lines, 2);
+  EXPECT_TRUE(sawCancel);
+}
+
+TEST(RingTrace, ChromeTraceIsValidJson) {
+  FluidSimulator fluid;
+  RingTraceSink ring(fluid, 256);
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(10.0)});
+  fluid.startFlow(FlowSpec{.path = {link}, .bytes = 10_MiB, .queueWeight = 1.0,
+                           .rateCap = 0.0, .onComplete = nullptr});
+  fluid.run();
+
+  const auto doc = util::parseJson(ring.toChromeTrace());
+  ASSERT_TRUE(doc.isObject());
+  ASSERT_TRUE(doc.has("traceEvents"));
+  EXPECT_GT(doc.at("traceEvents").asArray().size(), 0u);
+}
+
+TEST(RingTrace, WritesJsonlToFile) {
+  FluidSimulator fluid;
+  RingTraceSink ring(fluid, 64);
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(10.0)});
+  fluid.startFlow(FlowSpec{.path = {link}, .bytes = 1_MiB, .queueWeight = 1.0,
+                           .rateCap = 0.0, .onComplete = nullptr});
+  fluid.run();
+  const auto path = std::filesystem::temp_directory_path() / "beesim_ring_test.jsonl";
+  ring.writeJsonl(path);
+  EXPECT_GT(std::filesystem::file_size(path), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(RingTrace, DetachesOnDestructionAndRejectsZeroCapacity) {
+  FluidSimulator fluid;
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(10.0)});
+  {
+    RingTraceSink ring(fluid, 8);
+  }
+  fluid.startFlow(FlowSpec{.path = {link}, .bytes = 1_MiB, .queueWeight = 1.0,
+                           .rateCap = 0.0, .onComplete = nullptr});
+  fluid.run();
+  EXPECT_THROW(RingTraceSink(fluid, 0), util::ContractError);
+}
+
+TEST(RingTrace, ComposesWithFlowTracer) {
+  // Both sinks observe the same run through the observer hub; the cheap ring
+  // must not perturb the exact tracer's accounting.
+  FluidSimulator fluid;
+  FlowTracer tracer(fluid);
+  RingTraceSink ring(fluid, 128);
+  const auto link = fluid.addResource(ResourceSpec{"link", constantCapacity(100.0)});
+  fluid.startFlow(FlowSpec{.path = {link}, .bytes = 50_MiB, .queueWeight = 1.0,
+                           .rateCap = 0.0, .onComplete = nullptr});
+  fluid.run();
+  EXPECT_NEAR(tracer.resourceMiB(link), 50.0, 1e-6);
+  EXPECT_GE(ring.size(), 3u);
 }
 
 }  // namespace
