@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "qos/manager.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
@@ -279,6 +280,22 @@ void FileSystem::transferAsync(std::size_t node, FileHandle handle, util::Bytes 
 void FileSystem::issueChunk(const std::shared_ptr<TransferState>& transfer,
                             std::size_t stripeSlot, util::Bytes bytes,
                             util::Seconds failedAt) {
+  // QoS admission gates the write path only, and only first attempts: a
+  // re-issue after a timeout/failover carries bytes whose tokens were spent
+  // at the original admission, so the retry ladder can never double-spend.
+  if (qos_ != nullptr && transfer->isWrite && failedAt < 0.0) {
+    const bool admitted = qos_->admitChunk(
+        transfer->node, bytes, [this, transfer, stripeSlot, bytes] {
+          issueChunkAdmitted(transfer, stripeSlot, bytes, /*failedAt=*/-1.0);
+        });
+    if (!admitted) return;  // deferred; the manager resumes it
+  }
+  issueChunkAdmitted(transfer, stripeSlot, bytes, failedAt);
+}
+
+void FileSystem::issueChunkAdmitted(const std::shared_ptr<TransferState>& transfer,
+                                    std::size_t stripeSlot, util::Bytes bytes,
+                                    util::Seconds failedAt) {
   const auto& policy = deployment_.params().faults;
   auto& fluid = deployment_.fluid();
 

@@ -18,6 +18,10 @@
 #include "beegfs/deployment.hpp"
 #include "beegfs/stripe.hpp"
 
+namespace beesim::qos {
+class QosManager;
+}
+
 namespace beesim::beegfs {
 
 struct FileHandle {
@@ -130,6 +134,15 @@ class FileSystem {
   /// True while a background resync flow is streaming group `id`'s delta.
   bool resyncActive(std::size_t id) const;
 
+  // -- Multi-tenant QoS (qos::QosManager; see DESIGN.md §2.8). -------------
+
+  /// Attach a per-application QoS manager: every first attempt of a write
+  /// chunk then asks the manager for admission (token-bucket throttling by
+  /// deferred issue; re-issues after a timeout/failover are never charged
+  /// again).  Null detaches.  The manager must outlive all transfers.
+  void setQosManager(qos::QosManager* qos) { qos_ = qos; }
+  qos::QosManager* qosManager() const { return qos_; }
+
  private:
   /// Shared bookkeeping of one writeAsync/readAsync call: the operation
   /// completes when every chunk resolved (successfully or by abort).
@@ -147,9 +160,16 @@ class FileSystem {
                      std::function<void(util::Seconds)> done);
 
   /// Issue one chunk flow.  `failedAt` < 0 marks a first attempt; >= 0 the
-  /// virtual time this chunk's failure was detected (re-issues).
+  /// virtual time this chunk's failure was detected (re-issues).  With a
+  /// QosManager attached, first-attempt write chunks pass through token
+  /// admission and may start later (deferred issue); re-issues carry bytes
+  /// already paid for and bypass it.
   void issueChunk(const std::shared_ptr<TransferState>& transfer, std::size_t stripeSlot,
                   util::Bytes bytes, util::Seconds failedAt);
+  /// The post-admission half of issueChunk (also the resume target of a
+  /// deferred chunk, whose tokens were spent at the wake).
+  void issueChunkAdmitted(const std::shared_ptr<TransferState>& transfer,
+                          std::size_t stripeSlot, util::Bytes bytes, util::Seconds failedAt);
   /// Client I/O timeout: re-armed while the flow runs; on an offline target
   /// it cancels the flow and enters the retry/failover ladder.
   void armWatchdog(const std::shared_ptr<TransferState>& transfer, std::size_t stripeSlot,
@@ -207,6 +227,8 @@ class FileSystem {
   std::vector<std::vector<std::shared_ptr<MirrorChunk>>> inflightMirror_;
   /// Active background resync flow per group (id 0 == none).
   std::vector<sim::FlowId> resync_;
+  /// Per-application write admission (null = unmanaged; see DESIGN.md §2.8).
+  qos::QosManager* qos_ = nullptr;
 };
 
 }  // namespace beesim::beegfs

@@ -17,6 +17,7 @@
 #include "sim/trace.hpp"
 #include "harness/concurrent.hpp"
 #include "ior/options.hpp"
+#include "qos/manager.hpp"
 #include "stats/plot.hpp"
 #include "stats/summary.hpp"
 #include "topology/catalyst.hpp"
@@ -107,6 +108,35 @@ control::RebalancePolicy rebalancePolicy(const Args& args) {
   return policy;
 }
 
+/// Shared --qos* handling: multi-tenant token-bucket bandwidth control
+/// (DESIGN.md §2.8).  Tuning knobs without the master switch are rejected as
+/// likely typos, mirroring the fault/rebalance flag conventions.
+qos::QosPolicy qosPolicy(const Args& args) {
+  qos::QosPolicy policy;
+  policy.enabled = args.getBool("qos");
+  const auto rate = args.getDouble("qos-rate", 0.0);
+  const auto burst = args.getBytes("qos-burst", 0);
+  policy.borrow = args.getBool("qos-borrow");
+  if (!policy.enabled) {
+    if (args.get("qos-rate") || args.get("qos-burst") || policy.borrow) {
+      throw util::ConfigError("--qos-rate/--qos-burst/--qos-borrow require --qos");
+    }
+    return policy;
+  }
+  if (!args.get("qos-rate")) {
+    throw util::ConfigError("--qos requires --qos-rate (reserved MiB/s per application)");
+  }
+  if (!std::isfinite(rate) || rate <= 0.0) {
+    throw util::ConfigError("--qos-rate must be finite and > 0 (MiB/s)");
+  }
+  if (args.get("qos-burst") && burst == 0) {
+    throw util::ConfigError("--qos-burst must be > 0 bytes (omit for one second at --qos-rate)");
+  }
+  policy.rate = rate;
+  policy.burst = burst;
+  return policy;
+}
+
 /// Shared --jobs/--progress handling: worker count (default BEESIM_JOBS,
 /// else serial) plus an optional stderr status line.
 harness::ExecutorOptions executorOptions(const Args& args, const std::string& label) {
@@ -180,6 +210,7 @@ int cmdRun(const Args& args, std::ostream& out) {
   const bool mirror = args.getBool("mirror");
   const auto resyncRate = args.getDouble("resync-rate", 0.0);
   config.rebalance = rebalancePolicy(args);
+  config.qos = qosPolicy(args);
   const auto exec = executorOptions(args, "run");
   rejectUnknownFlags(args);
 
@@ -261,6 +292,7 @@ int cmdRun(const Args& args, std::ostream& out) {
   beegfs::ClientFaultStats faultTotals;
   beegfs::MirrorStats mirrorTotals;
   control::RebalanceStats rebalTotals;
+  qos::QosStats qosTotals;
   std::size_t faultAborts = 0;
   const auto store = harness::executeCampaign(
       entries, protocol, seed,
@@ -287,6 +319,12 @@ int cmdRun(const Args& args, std::ostream& out) {
         mirrorTotals.resyncJobs += record.ior.mirror.resyncJobs;
         mirrorTotals.bytesResynced += record.ior.mirror.bytesResynced;
         mirrorTotals.resyncSeconds += record.ior.mirror.resyncSeconds;
+        qosTotals.tokensIssued += record.qos.tokensIssued;
+        qosTotals.tokensBorrowed += record.qos.tokensBorrowed;
+        qosTotals.tokensReclaimed += record.qos.tokensReclaimed;
+        qosTotals.deferrals += record.qos.deferrals;
+        qosTotals.throttleSeconds += record.qos.throttleSeconds;
+        qosTotals.sloViolations += record.qos.sloViolations;
       },
       exec);
 
@@ -321,6 +359,17 @@ int cmdRun(const Args& args, std::ostream& out) {
         << " migrated=" << util::fmt(util::toMiB(rebalTotals.bytesMigrated), 1)
         << " MiB migration_time=" << util::fmt(rebalTotals.migrationSeconds, 2)
         << " s peak_imbalance=" << util::fmt(rebalTotals.peakImbalance, 3) << "\n";
+  }
+  if (config.qos.enabled) {
+    out << "qos (totals over " << reps << " reps): issued="
+        << util::fmt(qosTotals.tokensIssued / static_cast<double>(util::kMiB), 1)
+        << " MiB borrowed="
+        << util::fmt(qosTotals.tokensBorrowed / static_cast<double>(util::kMiB), 1)
+        << " MiB reclaimed="
+        << util::fmt(qosTotals.tokensReclaimed / static_cast<double>(util::kMiB), 1)
+        << " MiB deferrals=" << qosTotals.deferrals
+        << " throttle=" << util::fmt(qosTotals.throttleSeconds, 2)
+        << " s slo_violations=" << qosTotals.sloViolations << "\n";
   }
 
   if (!traceFile.empty() || !traceOut.empty() || !metricsOut.empty()) {
@@ -483,6 +532,7 @@ int cmdConcurrent(const Args& args, std::ostream& out) {
   const auto seed = static_cast<std::uint64_t>(args.getUnsigned("seed", 2022));
   auto base = baseConfig(args, cluster);
   base.rebalance = rebalancePolicy(args);
+  base.qos = qosPolicy(args);
   const auto exec = executorOptions(args, "concurrent");
   rejectUnknownFlags(args);
   base.fs.defaultStripe.stripeCount = stripe;
@@ -505,10 +555,17 @@ int cmdConcurrent(const Args& args, std::ostream& out) {
   std::vector<double> aggregates;
   std::vector<double> perApp;
   std::size_t sharedTargetRuns = 0;
+  qos::QosStats qosTotals;
   for (const auto& result : results) {
     aggregates.push_back(result.aggregateBandwidth);
     for (const auto& app : result.apps) perApp.push_back(app.bandwidth);
     if (result.sharedTargets > 0) ++sharedTargetRuns;
+    qosTotals.tokensIssued += result.qos.tokensIssued;
+    qosTotals.tokensBorrowed += result.qos.tokensBorrowed;
+    qosTotals.tokensReclaimed += result.qos.tokensReclaimed;
+    qosTotals.deferrals += result.qos.deferrals;
+    qosTotals.throttleSeconds += result.qos.throttleSeconds;
+    qosTotals.sloViolations += result.qos.sloViolations;
   }
 
   out << apps << " concurrent applications x " << nodesPerApp << " nodes x " << ppn
@@ -517,6 +574,17 @@ int cmdConcurrent(const Args& args, std::ostream& out) {
   out << "aggregate (Eq. 1): " << stats::summarize(aggregates).describe() << " MiB/s\n";
   out << "per application:   " << stats::summarize(perApp).describe() << " MiB/s\n";
   out << "runs with target sharing: " << sharedTargetRuns << "/" << reps << "\n";
+  if (base.qos.enabled) {
+    out << "qos (totals over " << reps << " reps): issued="
+        << util::fmt(qosTotals.tokensIssued / static_cast<double>(util::kMiB), 1)
+        << " MiB borrowed="
+        << util::fmt(qosTotals.tokensBorrowed / static_cast<double>(util::kMiB), 1)
+        << " MiB reclaimed="
+        << util::fmt(qosTotals.tokensReclaimed / static_cast<double>(util::kMiB), 1)
+        << " MiB deferrals=" << qosTotals.deferrals
+        << " throttle=" << util::fmt(qosTotals.throttleSeconds, 2)
+        << " s slo_violations=" << qosTotals.sloViolations << "\n";
+  }
   return 0;
 }
 
@@ -580,8 +648,17 @@ std::string usage() {
          "                            before acting (default 3)\n"
          "                --rebalance-rate MiBps    cap each background migration flow\n"
          "                            (default uncapped)\n"
+         "                --qos                 per-application token-bucket bandwidth\n"
+         "                            control on the write path (DESIGN.md §2.8)\n"
+         "                --qos-rate MiBps      reserved sustained rate per application\n"
+         "                            (required with --qos)\n"
+         "                --qos-burst BYTES     bucket depth (default: one second at\n"
+         "                            --qos-rate; accepts 64m/1g suffixes)\n"
+         "                --qos-borrow          let under-subscribed apps lend unused\n"
+         "                            tokens to over-subscribed ones (AdapTBF-style)\n"
          "sweep flags:    --ppn --reps --total --chooser --rebalance*\n"
-         "concurrent:     --apps --nodes-per-app --ppn --stripe --total --reps --rebalance*\n"
+         "concurrent:     --apps --nodes-per-app --ppn --stripe --total --reps\n"
+         "                --rebalance* --qos --qos-rate --qos-burst --qos-borrow\n"
          "export-cluster: --out FILE\n";
 }
 
@@ -593,7 +670,7 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream
   const std::string command = argv[0];
   try {
     const Args args(std::vector<std::string>(argv.begin() + 1, argv.end()),
-                    {"progress", "mirror", "rebalance"});
+                    {"progress", "mirror", "rebalance", "qos", "qos-borrow"});
     if (command == "describe") return cmdDescribe(args, out);
     if (command == "run") return cmdRun(args, out);
     if (command == "sweep") return cmdSweep(args, out);

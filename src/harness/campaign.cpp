@@ -74,6 +74,18 @@ ResultRow makeRow(const CampaignEntry& entry, const PlannedRun& planned,
     row.metrics["rebal_migration_seconds"] = record.rebalance.migrationSeconds;
     row.metrics["rebal_peak_imbalance"] = record.rebalance.peakImbalance;
   }
+  if (record.qosActive) {
+    // Same contract as fault_*: only QoS-managed runs carry these columns,
+    // so campaigns with QoS off keep their exact bytes.
+    row.metrics["qos_issued_mib"] = record.qos.tokensIssued / static_cast<double>(util::kMiB);
+    row.metrics["qos_borrowed_mib"] =
+        record.qos.tokensBorrowed / static_cast<double>(util::kMiB);
+    row.metrics["qos_reclaimed_mib"] =
+        record.qos.tokensReclaimed / static_cast<double>(util::kMiB);
+    row.metrics["qos_deferrals"] = static_cast<double>(record.qos.deferrals);
+    row.metrics["qos_throttle_seconds"] = record.qos.throttleSeconds;
+    row.metrics["qos_slo_violations"] = static_cast<double>(record.qos.sloViolations);
+  }
   if (record.ior.util.active) {
     // Same contract again: only utilization-observed runs carry the
     // per-server traffic split, so default campaigns keep their exact bytes.

@@ -1,11 +1,13 @@
 #include "harness/concurrent.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
 #include "beegfs/deployment.hpp"
 #include "beegfs/filesystem.hpp"
+#include "faults/injector.hpp"
 #include "sim/fluid.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -22,7 +24,11 @@ util::MiBps aggregateBandwidth(const std::vector<ior::IorResult>& apps) {
     earliestStart = std::min(earliestStart, app.start);
     latestEnd = std::max(latestEnd, app.end);
   }
-  return util::bandwidth(totalBytes, latestEnd - earliestStart);
+  // A degenerate window (every app resolved instantly, e.g. all jobs wrote
+  // zero bytes) is 0 MiB/s, not a contract violation in util::bandwidth.
+  const util::Seconds elapsed = latestEnd - earliestStart;
+  if (elapsed <= 0.0) return 0.0;
+  return util::bandwidth(totalBytes, elapsed);
 }
 
 ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>& apps,
@@ -37,6 +43,15 @@ ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>
       if (!seenNodes.insert(node).second) {
         throw util::ConfigError("concurrent applications must not share compute nodes");
       }
+    }
+    // A negative offset would silently schedule the app before base.startAt
+    // (i.e. before the deployment's fault plan and noise epochs assume any
+    // traffic exists); NaN/inf would hang the engine.
+    if (!std::isfinite(app.startOffset) || app.startOffset < 0.0) {
+      throw util::ConfigError("AppSpec::startOffset must be finite and >= 0");
+    }
+    if (app.qos && !base.qos.enabled) {
+      throw util::ConfigError("per-app QoS specs require an enabled base QoS policy");
     }
   }
 
@@ -54,10 +69,47 @@ ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>
   std::optional<control::RebalanceController> rebalance;
   if (base.rebalance.enabled) rebalance.emplace(fs, base.rebalance);
 
+  // QoS: one token bucket per application (DESIGN.md §2.8).  Apps without an
+  // explicit spec inherit the policy's default reservation.
+  std::optional<qos::QosManager> qosManager;
+  if (base.qos.enabled) {
+    qosManager.emplace(fluid, base.qos);
+    for (const auto& app : apps) {
+      qosManager->registerApp(app.qos ? *app.qos : qos::makeAppSpec(base.qos),
+                              app.job.nodeIds);
+    }
+    fs.setQosManager(&*qosManager);
+  }
+
   ConcurrentResult result;
   result.seed = seed;
   result.environment = env;
   result.apps.resize(apps.size());
+
+  // Fault plan: same rng discipline as runOnce (a dedicated split only when
+  // the plan is non-empty, so default experiments keep their exact bytes).
+  std::optional<faults::FaultInjector> injector;
+  if (!base.faults.empty()) {
+    faults::FaultSchedule schedule = base.faults.schedule;
+    if (base.faults.stochastic) {
+      util::Rng faultRng = rng.split();
+      const auto generated =
+          faults::generateSchedule(*base.faults.stochastic, base.cluster.targetCount(),
+                                   base.cluster.hosts.size(), faultRng);
+      schedule.events.insert(schedule.events.end(), generated.events.begin(),
+                             generated.events.end());
+    }
+    schedule.normalize(base.cluster.targetCount(), base.cluster.hosts.size());
+    if (schedule.hasFailures() &&
+        base.fs.faults.mode == beegfs::ClientFaultPolicy::Mode::kNone) {
+      throw util::ConfigError(
+          "fault schedule contains target/host failures but no client fault "
+          "policy is set (BeegfsParams::faults.mode)");
+    }
+    injector.emplace(deployment, std::move(schedule));
+    injector->arm(base.startAt);
+    result.faultsActive = true;
+  }
 
   std::size_t remaining = apps.size();
   for (std::size_t a = 0; a < apps.size(); ++a) {
@@ -80,6 +132,20 @@ ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>
     rebalance->cancel();
     result.rebalanceActive = true;
     result.rebalance = rebalance->stats();
+  }
+  if (injector) result.injected = injector->stats();
+  if (qosManager) {
+    result.qosActive = true;
+    result.qos = qosManager->stats();
+    // An app violates its SLO when it achieved less than tolerance * sloRate
+    // while it ran; zero-demand apps cannot violate.
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      if (result.apps[a].totalBytes == 0) continue;
+      const auto slo = qos::sloRate(qosManager->appSpec(a));
+      if (result.apps[a].bandwidth < base.qos.sloTolerance * slo) {
+        ++result.qos.sloViolations;
+      }
+    }
   }
 
   result.aggregateBandwidth = aggregateBandwidth(result.apps);

@@ -27,7 +27,11 @@ struct AppSpec {
   ior::IorOptions ior;
   std::optional<std::vector<std::size_t>> pinnedTargets;
   /// Start offset relative to the experiment start (0 = simultaneous).
+  /// Must be finite and >= 0.
   util::Seconds startOffset = 0.0;
+  /// Per-application QoS reservation (rate/burst/SLO); unset apps fall back
+  /// to base.qos's defaults.  Requires base.qos.enabled.
+  std::optional<qos::QosAppSpec> qos;
 };
 
 struct ConcurrentResult {
@@ -45,6 +49,15 @@ struct ConcurrentResult {
   bool rebalanceActive = false;
   /// What the controller did (zeroed when !rebalanceActive).
   control::RebalanceStats rebalance;
+  /// True when a fault plan was armed (base.faults non-empty).
+  bool faultsActive = false;
+  /// What the injector fired (zeroed when !faultsActive).
+  faults::InjectorStats injected;
+  /// True when the QoS manager ran for this experiment.
+  bool qosActive = false;
+  /// Aggregated QoS accounting; sloViolations counts apps whose achieved
+  /// bandwidth fell below sloTolerance * sloRate (zeroed when !qosActive).
+  qos::QosStats qos;
 };
 
 /// Run all applications concurrently on one deployment built from
@@ -53,7 +66,8 @@ struct ConcurrentResult {
 ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>& apps,
                                std::uint64_t seed);
 
-/// Paper Equation 1 over per-app (start, end, bytes) triples.
+/// Paper Equation 1 over per-app (start, end, bytes) triples.  A zero-length
+/// window (every app had zero duration, e.g. all-zero-byte jobs) yields 0.
 util::MiBps aggregateBandwidth(const std::vector<ior::IorResult>& apps);
 
 }  // namespace beesim::harness

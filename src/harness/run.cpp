@@ -63,6 +63,15 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
   std::optional<control::RebalanceController> rebalance;
   if (config.rebalance.enabled) rebalance.emplace(fs, config.rebalance);
 
+  // QoS: the whole job is one application (single-tenant limiter).  Same
+  // contract as the controller -- nothing is constructed when disabled.
+  std::optional<qos::QosManager> qosManager;
+  if (config.qos.enabled) {
+    qosManager.emplace(fluid, config.qos);
+    qosManager->registerApp(qos::makeAppSpec(config.qos), config.job.nodeIds);
+    fs.setQosManager(&*qosManager);
+  }
+
   RunRecord record;
   record.seed = seed;
   record.environment = env;
@@ -121,6 +130,12 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
     rebalance->cancel();  // safety: the drained run left no active flows
     record.rebalanceActive = true;
     record.rebalance = rebalance->stats();
+  }
+  if (qosManager) {
+    record.qosActive = true;
+    record.qos = qosManager->stats();
+    const auto slo = qos::sloRate(qosManager->appSpec(0));
+    if (record.ior.bandwidth < config.qos.sloTolerance * slo) ++record.qos.sloViolations;
   }
   if (tracer) record.ior.util = measureUtilization(*tracer, deployment, record.ior);
   record.resolves = fluid.resolveCount();

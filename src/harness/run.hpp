@@ -16,6 +16,7 @@
 #include "faults/schedule.hpp"
 #include "ior/options.hpp"
 #include "ior/runner.hpp"
+#include "qos/manager.hpp"
 #include "topology/cluster.hpp"
 
 namespace beesim::harness {
@@ -64,6 +65,11 @@ struct RunConfig {
   /// controller is then never constructed and the run stays bitwise
   /// identical to pre-controller builds.
   control::RebalancePolicy rebalance;
+  /// Multi-tenant QoS (DESIGN.md §2.8).  Disabled by default: the manager is
+  /// then never constructed and the run stays bitwise identical to
+  /// pre-QoS builds.  runOnce registers the whole job as one application at
+  /// qos.rate/qos.burst; runConcurrent registers one app per AppSpec.
+  qos::QosPolicy qos;
   /// ε bound for the fluid core's deferred re-solves (DESIGN.md §2.7).
   /// 0 (the default) is the exact path -- bitwise identical to pre-ε builds;
   /// > 0 lets every flow's rate lag the exact max-min solution by at most
@@ -88,6 +94,11 @@ struct RunRecord {
   bool rebalanceActive = false;
   /// What the controller did (zeroed when !rebalanceActive).
   control::RebalanceStats rebalance;
+  /// True when the QoS manager ran (campaign rows then carry the qos_*
+  /// metric columns).
+  bool qosActive = false;
+  /// What the QoS layer did (zeroed when !qosActive).
+  qos::QosStats qos;
   /// Solver work done by this run (always filled; the counters are free).
   std::size_t resolves = 0;
   std::size_t solverIterations = 0;

@@ -1,0 +1,45 @@
+#include "qos/borrow.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace beesim::qos {
+
+double BorrowLedger::donate(std::size_t app, double bytes, double cap) {
+  BEESIM_ASSERT(app < contribution_.size(), "unknown borrow-ledger app");
+  BEESIM_ASSERT(bytes >= 0.0 && cap >= 0.0, "negative donation");
+  const double room = std::max(0.0, cap - contribution_[app]);
+  const double pooled = std::min(bytes, room);
+  contribution_[app] += pooled;
+  return pooled;
+}
+
+double BorrowLedger::draw(std::size_t app, double bytes) {
+  BEESIM_ASSERT(app < contribution_.size(), "unknown borrow-ledger app");
+  BEESIM_ASSERT(bytes >= 0.0, "negative draw");
+  double drawn = 0.0;
+  for (std::size_t lender = 0; lender < contribution_.size() && drawn < bytes; ++lender) {
+    if (lender == app) continue;
+    const double take = std::min(contribution_[lender], bytes - drawn);
+    contribution_[lender] -= take;
+    drawn += take;
+  }
+  return drawn;
+}
+
+double BorrowLedger::reclaim(std::size_t app, double bytes) {
+  BEESIM_ASSERT(app < contribution_.size(), "unknown borrow-ledger app");
+  BEESIM_ASSERT(bytes >= 0.0, "negative reclaim");
+  const double take = std::min(contribution_[app], bytes);
+  contribution_[app] -= take;
+  return take;
+}
+
+double BorrowLedger::poolBytes() const {
+  double total = 0.0;
+  for (const double c : contribution_) total += c;
+  return total;
+}
+
+}  // namespace beesim::qos

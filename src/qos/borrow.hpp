@@ -1,0 +1,58 @@
+// Decentralized token lending between applications (DESIGN.md §2.8).
+//
+// AdapTBF-style adaptive borrowing: an application whose bucket is full
+// donates its refill overflow into a shared spare pool instead of letting
+// it evaporate; an over-subscribed application may then draw those spares
+// on top of its own reservation.  The ledger remembers *whose* tokens sit
+// in the pool, so reclaim-on-demand works: a lender that becomes busy again
+// takes its own undrawn contribution back before anyone else can spend it.
+//
+// Bounds: each lender's outstanding contribution is capped (the QosManager
+// passes its burst), so the pool never exceeds the sum of bucket depths --
+// borrowing redistributes reserved-but-idle bandwidth, it cannot mint
+// capacity.  Draws deplete lenders in ascending application order; with no
+// randomness anywhere the whole protocol is a pure function of the event
+// sequence, preserving the harness's --jobs invariance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace beesim::qos {
+
+class BorrowLedger {
+ public:
+  /// Register one more application; returns its ledger id (dense, 0-based).
+  std::size_t addApp() {
+    contribution_.push_back(0.0);
+    return contribution_.size() - 1;
+  }
+
+  std::size_t appCount() const { return contribution_.size(); }
+
+  /// Donate `bytes` of refill overflow from `app` into the pool.  The app's
+  /// outstanding contribution is capped at `cap`; the excess evaporates
+  /// (exactly what an uncapped bucket would have discarded).  Returns the
+  /// amount actually pooled.
+  double donate(std::size_t app, double bytes, double cap);
+
+  /// Draw up to `bytes` for `app` from OTHER applications' contributions,
+  /// depleting lenders in ascending id order.  Returns the amount drawn.
+  double draw(std::size_t app, double bytes);
+
+  /// Take back up to `bytes` of `app`'s own undrawn contribution.  Returns
+  /// the amount reclaimed.
+  double reclaim(std::size_t app, double bytes);
+
+  /// Total spare tokens currently pooled (bytes).
+  double poolBytes() const;
+
+  /// `app`'s undrawn contribution currently in the pool (bytes).
+  double contribution(std::size_t app) const { return contribution_.at(app); }
+
+ private:
+  /// Undrawn pooled tokens per application; the pool is their sum.
+  std::vector<double> contribution_;
+};
+
+}  // namespace beesim::qos

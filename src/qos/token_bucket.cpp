@@ -1,0 +1,40 @@
+#include "qos/token_bucket.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace beesim::qos {
+
+TokenBucket::TokenBucket(util::MiBps rate, util::Bytes burst)
+    : rate_(rate), burst_(burst), tokens_(static_cast<double>(burst)) {
+  BEESIM_ASSERT(std::isfinite(rate) && rate > 0.0, "token bucket rate must be positive");
+  BEESIM_ASSERT(burst > 0, "token bucket burst must be positive");
+}
+
+void TokenBucket::refill(util::Seconds now) {
+  BEESIM_ASSERT(now + kSlack >= lastRefill_, "token bucket refilled backwards in time");
+  if (now <= lastRefill_) return;
+  tokens_ += bytesPerSecond() * (now - lastRefill_);
+  lastRefill_ = now;
+}
+
+double TokenBucket::takeOverflow() {
+  const double over = tokens_ - static_cast<double>(burst_);
+  if (over <= 0.0) return 0.0;
+  tokens_ = static_cast<double>(burst_);
+  return over;
+}
+
+double TokenBucket::admissionNeed(util::Bytes bytes) const {
+  return std::min(static_cast<double>(bytes), static_cast<double>(burst_));
+}
+
+util::Seconds TokenBucket::timeUntilAdmissible(util::Bytes bytes) const {
+  const double deficit = admissionNeed(bytes) - tokens_;
+  if (deficit <= 0.0) return 0.0;
+  return deficit / bytesPerSecond();
+}
+
+}  // namespace beesim::qos

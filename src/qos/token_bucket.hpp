@@ -1,0 +1,71 @@
+// Per-application token bucket, refilled in virtual time (DESIGN.md §2.8).
+//
+// One bucket per application enforces its reserved write bandwidth at the
+// clients: a chunk is admitted when the bucket holds `min(bytes, burst)`
+// tokens (spend-ahead: jumbo chunks larger than the burst may drive the
+// balance negative rather than deadlock, and the debt throttles subsequent
+// chunks).  Refill is lazy -- `refill(now)` accrues `rate * (now - last)`
+// tokens with NO cap, and `takeOverflow()` extracts whatever exceeds the
+// burst depth.  The split lets the QosManager decide what overflow means:
+// donated to the borrow pool when borrowing is on, evaporated otherwise.
+// The bucket itself draws no randomness and never reads the host clock.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace beesim::qos {
+
+class TokenBucket {
+ public:
+  /// Admission slack (bytes): absorbs the rounding of `deficit / rate`
+  /// wake-up arithmetic so a scheduled wake never misses by one ulp.
+  static constexpr double kSlack = 1e-6;
+
+  /// `rate` is the sustained refill in MiB/s, `burst` the bucket depth in
+  /// bytes.  Both must be positive and finite.  The bucket starts full.
+  TokenBucket(util::MiBps rate, util::Bytes burst);
+
+  util::MiBps rate() const { return rate_; }
+  util::Bytes burst() const { return burst_; }
+  /// Refill speed in bytes per (virtual) second.
+  double bytesPerSecond() const { return rate_ * static_cast<double>(util::kMiB); }
+
+  /// Current balance in bytes.  May exceed `burst` between refill() and
+  /// takeOverflow(), and may be negative after a spend-ahead.
+  double tokens() const { return tokens_; }
+
+  /// Accrue tokens for the wall of virtual time since the last refill.
+  /// Monotonic `now` required (equal timestamps are no-ops).
+  void refill(util::Seconds now);
+
+  /// Extract and return the balance above `burst` (0 if none).  After this
+  /// call tokens() <= burst holds again.
+  double takeOverflow();
+
+  /// Tokens a chunk of `bytes` needs before it may start: the full chunk,
+  /// capped at the bucket depth (spend-ahead for jumbo chunks).
+  double admissionNeed(util::Bytes bytes) const;
+
+  /// Can a chunk of `bytes` start right now (within kSlack)?
+  bool admissible(util::Bytes bytes) const {
+    return tokens_ + kSlack >= admissionNeed(bytes);
+  }
+
+  /// Virtual seconds of refill needed until `bytes` becomes admissible
+  /// (0 if already admissible).
+  util::Seconds timeUntilAdmissible(util::Bytes bytes) const;
+
+  /// Spend tokens (admission charge).  The balance may go negative.
+  void consume(double bytes) { tokens_ -= bytes; }
+
+  /// Add tokens (a borrow or reclaim landing in this bucket).
+  void credit(double bytes) { tokens_ += bytes; }
+
+ private:
+  util::MiBps rate_;
+  util::Bytes burst_;
+  double tokens_;
+  util::Seconds lastRefill_ = 0.0;
+};
+
+}  // namespace beesim::qos

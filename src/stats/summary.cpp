@@ -36,6 +36,19 @@ double quantile(std::span<const double> values, double q) {
   return quantileSorted(sortedCopy(values), q);
 }
 
+double jainIndex(std::span<const double> values) {
+  BEESIM_ASSERT(!values.empty(), "Jain index of empty sample");
+  double sum = 0.0;
+  double sumSq = 0.0;
+  for (const double x : values) {
+    BEESIM_ASSERT(x >= 0.0, "Jain index needs non-negative allocations");
+    sum += x;
+    sumSq += x * x;
+  }
+  if (sumSq == 0.0) return 1.0;  // everyone got (equally) nothing
+  return sum * sum / (static_cast<double>(values.size()) * sumSq);
+}
+
 Summary summarize(std::span<const double> values) {
   BEESIM_ASSERT(!values.empty(), "summary of empty sample");
   Summary s;

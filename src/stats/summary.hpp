@@ -33,6 +33,11 @@ Summary summarize(std::span<const double> values);
 /// Precondition: values non-empty, 0 <= q <= 1.
 double quantile(std::span<const double> values, double q);
 
+/// Jain's fairness index: (Σx)² / (n·Σx²).  1 = perfectly fair, 1/n = one
+/// user takes everything.  Precondition: values non-empty, all >= 0.  An
+/// all-zero vector is "equally nothing" and yields 1.
+double jainIndex(std::span<const double> values);
+
 /// Tukey box-plot statistics: quartiles plus whiskers at the most extreme
 /// points within 1.5*IQR, and the outliers beyond them.
 struct BoxPlot {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -307,6 +308,52 @@ TEST(Interference, InvalidSpecsThrow) {
   spec.start = 10.0;
   spec.end = 5.0;
   EXPECT_THROW(injectInterference(fs, spec, util::Rng(3)), util::ContractError);
+}
+
+// Regression (PR 8): all apps with zero duration used to trip the
+// BEESIM_ASSERT(elapsed > 0) inside util::bandwidth instead of reporting
+// the window as empty.
+TEST(Concurrent, AggregateOfZeroLengthWindowIsZero) {
+  std::vector<ior::IorResult> apps(2);
+  apps[0].start = 5.0;
+  apps[0].end = 5.0;
+  apps[1].start = 5.0;
+  apps[1].end = 5.0;
+  EXPECT_DOUBLE_EQ(aggregateBandwidth(apps), 0.0);
+}
+
+TEST(Concurrent, ZeroDurationAppsMixWithRealOnes) {
+  // A degenerate instantaneous app widens neither the window nor the byte
+  // count; Equation 1 still divides the real volume by the real window.
+  std::vector<ior::IorResult> apps(2);
+  apps[0].start = 5.0;
+  apps[0].end = 5.0;
+  apps[0].totalBytes = 0;
+  apps[1].start = 5.0;
+  apps[1].end = 7.0;
+  apps[1].totalBytes = 2_GiB;
+  EXPECT_DOUBLE_EQ(aggregateBandwidth(apps), 1024.0);
+}
+
+// Regression (PR 8): negative offsets used to be accepted and silently
+// scheduled apps before base.startAt; non-finite ones hung the engine.
+TEST(Concurrent, NegativeStartOffsetRejected) {
+  auto base = baseConfig(topo::Scenario::kOmniPath100G, 4, 8, 4, 2_GiB);
+  std::vector<AppSpec> apps(2);
+  apps[0].job = ior::IorJob{{0, 1}, 8};
+  apps[0].ior.blockSize = ior::blockSizeForTotal(1_GiB, apps[0].job.ranks());
+  apps[1].job = ior::IorJob{{2, 3}, 8};
+  apps[1].ior.blockSize = apps[0].ior.blockSize;
+  apps[1].startOffset = -1.0;
+  EXPECT_THROW(runConcurrent(base, apps, 7), util::ConfigError);
+  apps[1].startOffset = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(runConcurrent(base, apps, 7), util::ConfigError);
+  apps[1].startOffset = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(runConcurrent(base, apps, 7), util::ConfigError);
+  // The valid path still runs (zero offset and a positive stagger).
+  apps[1].startOffset = 2.0;
+  const auto result = runConcurrent(base, apps, 7);
+  EXPECT_NEAR(result.apps[1].start - result.apps[0].start, 2.0, 1e-9);
 }
 
 }  // namespace

@@ -77,6 +77,39 @@ TEST(BoxPlot, OutliersBeyondTukeyFences) {
   EXPECT_LE(box.whiskerHigh, 14.0);
 }
 
+TEST(JainIndex, PerfectFairnessIsOne) {
+  const std::vector<double> xs{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jainIndex(xs), 1.0);
+}
+
+TEST(JainIndex, OneUserTakingEverythingIsOneOverN) {
+  const std::vector<double> xs{10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jainIndex(xs), 0.25);
+}
+
+TEST(JainIndex, KnownMixedAllocation) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(jainIndex(xs), 36.0 / 42.0);
+}
+
+TEST(JainIndex, ScaleInvariant) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> scaled;
+  for (const double x : xs) scaled.push_back(1000.0 * x);
+  EXPECT_DOUBLE_EQ(jainIndex(xs), jainIndex(scaled));
+}
+
+TEST(JainIndex, AllZeroIsEquallyNothing) {
+  const std::vector<double> xs{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jainIndex(xs), 1.0);
+}
+
+TEST(JainIndex, ContractViolationsThrow) {
+  EXPECT_THROW(jainIndex(std::vector<double>{}), util::ContractError);
+  EXPECT_THROW(jainIndex(std::vector<double>{1.0, -0.5}), util::ContractError);
+}
+
 TEST(Summary, DescribeContainsKeyNumbers) {
   const std::vector<double> xs{1.0, 2.0, 3.0};
   const auto text = summarize(xs).describe();
