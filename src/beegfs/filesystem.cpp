@@ -339,6 +339,35 @@ void FileSystem::issueChunkAdmitted(const std::shared_ptr<TransferState>& transf
   // Rewrites charge usage again: the blocks written before the failure are
   // not reclaimed by the model (they leak until an offline cleanup).
   if (transfer->isWrite) deployment_.mgmt().recordUsage(target, bytes);
+
+  if (deployment_.params().hedge.enabled && transfer->isWrite) {
+    // Track the chunk for hedging: the original leg resolves through the
+    // track so a later hedge leg and it race cleanly (first wins).
+    auto track = std::make_shared<HedgeTrack>();
+    track->transfer = transfer;
+    track->stripeSlot = stripeSlot;
+    track->bytes = bytes;
+    track->target = target;
+    track->failedAt = failedAt;
+    track->tried.push_back(target);
+    track->primaryFlow = fluid.startFlow(sim::FlowSpec{
+        .path = deployment_.writePath(transfer->node, target),
+        .bytes = bytes,
+        .queueWeight = transfer->queueWeight,
+        .rateCap = 0.0,
+        .onComplete =
+            [this, track](const sim::FlowStats& s) {
+              resolveHedged(track, /*hedgeWon=*/false, s.meanRate());
+            },
+    });
+    hedged_[track->primaryFlow.value] = track;
+    if (policy.mode != ClientFaultPolicy::Mode::kNone) {
+      armWatchdog(transfer, stripeSlot, bytes, target, track->primaryFlow, failedAt);
+    }
+    armHedge(track);
+    return;
+  }
+
   const auto flow = fluid.startFlow(sim::FlowSpec{
       .path = deployment_.writePath(transfer->node, target),
       .bytes = bytes,
@@ -370,8 +399,10 @@ void FileSystem::armWatchdog(const std::shared_ptr<TransferState>& transfer,
           return;
         }
         // The chunk sat unfinished for a full ioTimeout and its target is
-        // registered offline: the client declares it failed.
+        // registered offline: the client declares it failed.  The retry
+        // ladder owns the chunk from here; any hedge leg is torn down.
         fluid.cancelFlow(flow);
+        dropHedgeTrack(flow);
         ++faultStats_.timeouts;
         const util::Seconds detectedAt = failedAt >= 0.0 ? failedAt : fluid.now();
         const auto& policy = deployment_.params().faults;
@@ -437,6 +468,178 @@ void FileSystem::finishChunk(const std::shared_ptr<TransferState>& transfer) {
   BEESIM_ASSERT(transfer->pendingChunks > 0, "transfer completion underflow");
   if (--transfer->pendingChunks == 0 && transfer->done) {
     transfer->done(deployment_.fluid().now());
+  }
+}
+
+// -- Hedged writes. ----------------------------------------------------------
+
+void FileSystem::armHedge(const std::shared_ptr<HedgeTrack>& track) {
+  deployment_.fluid().engine().scheduleAfter(
+      deployment_.params().hedge.deadline, [this, track] { hedgeCheck(track); });
+}
+
+void FileSystem::hedgeCheck(const std::shared_ptr<HedgeTrack>& track) {
+  if (track->resolved) return;
+  auto& fluid = deployment_.fluid();
+  const auto& policy = deployment_.params().hedge;
+
+  const double primaryRate =
+      fluid.flowActive(track->primaryFlow) ? fluid.flowRate(track->primaryFlow) : 0.0;
+  const double hedgeRate =
+      track->hedgeFlow.value != 0 && fluid.flowActive(track->hedgeFlow)
+          ? fluid.flowRate(track->hedgeFlow)
+          : 0.0;
+  const double best = std::max(primaryRate, hedgeRate);
+
+  // Peer-relative lag: compare against the median best-leg rate of the
+  // other tracked in-flight chunks.  Like the HealthMonitor's score this is
+  // relative on purpose -- a cluster-wide slowdown lags nobody.  A chunk
+  // moving zero bytes is lagging with or without peers (dead-but-online).
+  bool lagging = best <= 0.0;
+  if (!lagging) {
+    std::vector<double> peers;
+    peers.reserve(hedged_.size());
+    for (const auto& [id, other] : hedged_) {
+      if (other == track || other->resolved) continue;
+      const double op = fluid.flowActive(other->primaryFlow)
+                            ? fluid.flowRate(other->primaryFlow)
+                            : 0.0;
+      const double oh =
+          other->hedgeFlow.value != 0 && fluid.flowActive(other->hedgeFlow)
+              ? fluid.flowRate(other->hedgeFlow)
+              : 0.0;
+      peers.push_back(std::max(op, oh));
+    }
+    if (!peers.empty()) {
+      std::sort(peers.begin(), peers.end());
+      const double median = peers[(peers.size() - 1) / 2];  // lower median
+      lagging = median > 0.0 && best < policy.lagRatio * median;
+    }
+    // The in-flight peer set can be *uniformly* sick: once the healthy
+    // chunks complete, only the ones behind a stuttering link remain and
+    // their median cannot expose them.  The EWMA of completed winning legs'
+    // rates keeps a memory of what healthy service looked like.
+    if (!lagging && hedgeRefRate_ > 0.0) {
+      lagging = best < policy.lagRatio * hedgeRefRate_;
+    }
+  }
+
+  if (!lagging) {
+    armHedge(track);
+    return;
+  }
+  if (track->hedges >= policy.maxHedges) return;  // budget spent; stop the timer
+  // A lagging live hedge leg is replaced like a dead one: it had a full
+  // deadline to establish a rate, and `best` already folds it into the lag
+  // verdict (a crawling same-host hedge must not pin the chunk to a host
+  // whose link degraded after the leg was picked).  issueHedge cancels it.
+  std::size_t alt = 0;
+  if (!pickHedgeTarget(*track, alt)) {
+    armHedge(track);  // nowhere to go yet; a repair may open a candidate
+    return;
+  }
+  issueHedge(track, alt);
+  armHedge(track);
+}
+
+bool FileSystem::pickHedgeTarget(const HedgeTrack& track, std::size_t& out) const {
+  const auto& mgmt = deployment_.mgmt();
+  const std::size_t primaryHost = mgmt.target(track.target).host;
+  // Class 0: the original target's host (keeps the allocation's per-host
+  // balance) unless that host is quarantined; class 1: any other
+  // non-quarantined host; class 2: anything online (last resort -- better a
+  // shunned target than a stalled job).  Within a class the least-used,
+  // lowest-index target wins: deterministic, so campaigns stay
+  // jobs-invariant (no rng_ draw on this path).
+  int bestClass = 3;
+  util::Bytes bestUsed = 0;
+  bool found = false;
+  for (std::size_t t = 0; t < deployment_.cluster().targetCount(); ++t) {
+    const auto& entry = mgmt.target(t);
+    if (!entry.online) continue;
+    if (std::find(track.tried.begin(), track.tried.end(), t) != track.tried.end()) {
+      continue;
+    }
+    const bool shunned =
+        mgmt.hostHealth(entry.host) == HostHealth::kQuarantined;
+    int cls = 2;
+    if (!shunned) cls = entry.host == primaryHost ? 0 : 1;
+    if (!found || cls < bestClass || (cls == bestClass && entry.used < bestUsed)) {
+      found = true;
+      bestClass = cls;
+      bestUsed = entry.used;
+      out = t;
+    }
+  }
+  return found;
+}
+
+void FileSystem::issueHedge(const std::shared_ptr<HedgeTrack>& track, std::size_t alt) {
+  auto& fluid = deployment_.fluid();
+  // A dead previous hedge leg is abandoned before the replacement starts.
+  if (track->hedgeFlow.value != 0 && fluid.flowActive(track->hedgeFlow)) {
+    fluid.cancelFlow(track->hedgeFlow);
+  }
+  track->hedgeTarget = alt;
+  track->tried.push_back(alt);
+  ++track->hedges;
+  ++hedgeStats_.hedgesIssued;
+  hedgeStats_.bytesHedged += track->bytes;
+  // The duplicate send charges usage like a rewrite (the loser's bytes leak
+  // until an offline cleanup); it never passes QoS admission again -- the
+  // chunk's tokens were spent when it was first admitted.
+  deployment_.mgmt().recordUsage(alt, track->bytes);
+  track->hedgeFlow = fluid.startFlow(sim::FlowSpec{
+      .path = deployment_.writePath(track->transfer->node, alt),
+      .bytes = track->bytes,
+      .queueWeight = track->transfer->queueWeight,
+      .rateCap = 0.0,
+      .onComplete =
+          [this, track](const sim::FlowStats& s) {
+            resolveHedged(track, /*hedgeWon=*/true, s.meanRate());
+          },
+  });
+}
+
+void FileSystem::resolveHedged(const std::shared_ptr<HedgeTrack>& track, bool hedgeWon,
+                               util::MiBps legRate) {
+  if (track->resolved) return;
+  track->resolved = true;
+  auto& fluid = deployment_.fluid();
+  hedged_.erase(track->primaryFlow.value);
+  // Winning legs feed the lag reference (same alpha as the HealthMonitor's
+  // EWMA).  Losing/cancelled legs never complete, so a stalled primary
+  // cannot drag the reference down.
+  if (legRate > 0.0) {
+    hedgeRefRate_ = hedgeRefRate_ > 0.0 ? 0.3 * legRate + 0.7 * hedgeRefRate_ : legRate;
+  }
+  if (hedgeWon) {
+    ++hedgeStats_.hedgeWins;
+    if (fluid.flowActive(track->primaryFlow)) fluid.cancelFlow(track->primaryFlow);
+    // Re-home the slot: later segments address the winner directly instead
+    // of re-fighting the gray target chunk by chunk.
+    substitutes_[{track->transfer->handleValue, track->stripeSlot}] = track->hedgeTarget;
+  } else {
+    if (track->hedges > 0) ++hedgeStats_.primaryWins;
+    if (track->hedgeFlow.value != 0 && fluid.flowActive(track->hedgeFlow)) {
+      fluid.cancelFlow(track->hedgeFlow);
+    }
+  }
+  if (track->failedAt >= 0.0) {
+    faultStats_.degradedTime += fluid.now() - track->failedAt;
+  }
+  finishChunk(track->transfer);
+}
+
+void FileSystem::dropHedgeTrack(sim::FlowId primaryFlow) {
+  const auto it = hedged_.find(primaryFlow.value);
+  if (it == hedged_.end()) return;
+  const auto track = it->second;
+  track->resolved = true;  // pending hedge timers become no-ops
+  hedged_.erase(it);
+  auto& fluid = deployment_.fluid();
+  if (track->hedgeFlow.value != 0 && fluid.flowActive(track->hedgeFlow)) {
+    fluid.cancelFlow(track->hedgeFlow);
   }
 }
 
@@ -569,54 +772,7 @@ void FileSystem::onMirrorTargetOffline(std::size_t target) {
   if (target != entry.primary) return;
 
   if (entry.state == MirrorState::kGood && mgmt.target(entry.secondary).online) {
-    // mgmtd switchover: the secondary holds every acked byte, so promotion
-    // loses nothing and nothing is rewritten.  In-flight chunks keep their
-    // replica-leg progress: only the untransferred remainder is re-sent to
-    // the new primary.
-    mgmt.failOverMirrorGroup(*gid);
-    ++mirrorStats_.failovers;
-    const std::size_t newPrimary = mgmt.mirrorGroup(*gid).primary;
-    const auto chunks = inflightMirror_[*gid];
-    for (const auto& chunk : chunks) {
-      if (chunk->primaryFlow.value != 0 && fluid.flowActive(chunk->primaryFlow)) {
-        fluid.cancelFlow(chunk->primaryFlow);
-        chunk->primaryFlow = sim::FlowId{};
-      }
-      if (!chunk->transfer->isWrite) {
-        // Reads simply re-fetch the whole chunk from the surviving copy.
-        chunk->remainingFlows = 1;
-        chunk->primaryFlow = fluid.startFlow(sim::FlowSpec{
-            .path = deployment_.writePath(chunk->transfer->node, newPrimary),
-            .bytes = chunk->bytes,
-            .queueWeight = chunk->transfer->queueWeight,
-            .rateCap = 0.0,
-            .onComplete = [this, chunk](const sim::FlowStats&) { mirrorFlowDone(chunk, true); },
-        });
-        continue;
-      }
-      // The old primary's copy is stale whatever it received; the group
-      // owes the whole chunk to it on resync.
-      mgmt.addResyncDebt(*gid, chunk->bytes);
-      util::Bytes resend = 0;
-      if (chunk->replicaFlow.value != 0 && fluid.flowActive(chunk->replicaFlow)) {
-        resend = fluid.cancelFlow(chunk->replicaFlow).value_or(0);
-        chunk->replicaFlow = sim::FlowId{};
-      }
-      chunk->remainingFlows = 1;
-      if (resend == 0) {
-        // The replica already landed in full on the promoted target.
-        resolveMirrorChunk(chunk);
-        continue;
-      }
-      mirrorStats_.bytesResent += resend;
-      chunk->primaryFlow = fluid.startFlow(sim::FlowSpec{
-          .path = deployment_.writePath(chunk->transfer->node, newPrimary),
-          .bytes = resend,
-          .queueWeight = chunk->transfer->queueWeight,
-          .rateCap = 0.0,
-          .onComplete = [this, chunk](const sim::FlowStats&) { mirrorFlowDone(chunk, true); },
-      });
-    }
+    switchMirrorPrimary(*gid);
     return;
   }
 
@@ -657,6 +813,77 @@ void FileSystem::onMirrorTargetOffline(std::size_t target) {
     }
     failOverChunk(chunk->transfer, chunk->stripeSlot, chunk->bytes, detectedAt,
                   /*rewrite=*/true);
+  }
+}
+
+void FileSystem::switchMirrorPrimary(std::size_t group) {
+  auto& mgmt = deployment_.mgmt();
+  auto& fluid = deployment_.fluid();
+  // mgmtd switchover: the secondary holds every acked byte, so promotion
+  // loses nothing and nothing is rewritten.  In-flight chunks keep their
+  // replica-leg progress: only the untransferred remainder is re-sent to
+  // the new primary.
+  mgmt.failOverMirrorGroup(group);
+  ++mirrorStats_.failovers;
+  const std::size_t newPrimary = mgmt.mirrorGroup(group).primary;
+  const auto chunks = inflightMirror_[group];  // snapshot: handlers mutate it
+  for (const auto& chunk : chunks) {
+    if (chunk->primaryFlow.value != 0 && fluid.flowActive(chunk->primaryFlow)) {
+      fluid.cancelFlow(chunk->primaryFlow);
+      chunk->primaryFlow = sim::FlowId{};
+    }
+    if (!chunk->transfer->isWrite) {
+      // Reads simply re-fetch the whole chunk from the surviving copy.
+      chunk->remainingFlows = 1;
+      chunk->primaryFlow = fluid.startFlow(sim::FlowSpec{
+          .path = deployment_.writePath(chunk->transfer->node, newPrimary),
+          .bytes = chunk->bytes,
+          .queueWeight = chunk->transfer->queueWeight,
+          .rateCap = 0.0,
+          .onComplete = [this, chunk](const sim::FlowStats&) { mirrorFlowDone(chunk, true); },
+      });
+      continue;
+    }
+    // The old primary's copy is stale whatever it received; the group
+    // owes the whole chunk to it on resync.
+    mgmt.addResyncDebt(group, chunk->bytes);
+    util::Bytes resend = 0;
+    if (chunk->replicaFlow.value != 0 && fluid.flowActive(chunk->replicaFlow)) {
+      resend = fluid.cancelFlow(chunk->replicaFlow).value_or(0);
+      chunk->replicaFlow = sim::FlowId{};
+    }
+    chunk->remainingFlows = 1;
+    if (resend == 0) {
+      // The replica already landed in full on the promoted target.
+      resolveMirrorChunk(chunk);
+      continue;
+    }
+    mirrorStats_.bytesResent += resend;
+    chunk->primaryFlow = fluid.startFlow(sim::FlowSpec{
+        .path = deployment_.writePath(chunk->transfer->node, newPrimary),
+        .bytes = resend,
+        .queueWeight = chunk->transfer->queueWeight,
+        .rateCap = 0.0,
+        .onComplete = [this, chunk](const sim::FlowStats&) { mirrorFlowDone(chunk, true); },
+    });
+  }
+  // When the demoted member is still online (quarantine switchover, not a
+  // crash) the owed delta can start streaming right away.
+  maybeStartResync(group);
+}
+
+void FileSystem::hedgeMirrorGroupsOnHost(std::size_t host) {
+  if (!deployment_.params().hedge.enabled) return;
+  auto& mgmt = deployment_.mgmt();
+  for (std::size_t gid = 0; gid < mgmt.mirrorGroupCount(); ++gid) {
+    const auto& group = mgmt.mirrorGroup(gid);
+    if (group.state != MirrorState::kGood) continue;
+    if (mgmt.target(group.primary).host != host) continue;
+    const auto& secondary = mgmt.target(group.secondary);
+    if (!secondary.online) continue;
+    if (mgmt.hostHealth(secondary.host) == HostHealth::kQuarantined) continue;
+    switchMirrorPrimary(gid);
+    ++hedgeStats_.mirrorSwitchovers;
   }
 }
 

@@ -134,6 +134,20 @@ class FileSystem {
   /// True while a background resync flow is streaming group `id`'s delta.
   bool resyncActive(std::size_t id) const;
 
+  // -- Hedged writes (HedgePolicy; see DESIGN.md §2.9). --------------------
+
+  /// Cumulative hedging accounting across all transfers.
+  const HedgeStats& hedgeStats() const { return hedgeStats_; }
+
+  /// In-flight chunks currently tracked for hedging (inspectable by tests).
+  std::size_t hedgedInFlight() const { return hedged_.size(); }
+
+  /// Quarantine mitigation for mirrored files: switch over every good
+  /// mirror group whose *current primary* sits on `host` to its replica
+  /// (the mirrored equivalent of a hedge; gated on HedgePolicy::enabled).
+  /// Called by the HealthMonitor, deferred out of observer dispatch.
+  void hedgeMirrorGroupsOnHost(std::size_t host);
+
   // -- Multi-tenant QoS (qos::QosManager; see DESIGN.md §2.8). -------------
 
   /// Attach a per-application QoS manager: every first attempt of a write
@@ -187,6 +201,42 @@ class FileSystem {
   /// Mark one chunk resolved; fires the transfer's done when all are.
   void finishChunk(const std::shared_ptr<TransferState>& transfer);
 
+  /// One in-flight plain write chunk tracked for hedging: the original leg
+  /// plus at most one live hedge leg; first to land wins, loser cancelled.
+  struct HedgeTrack {
+    std::shared_ptr<TransferState> transfer;
+    std::size_t stripeSlot = 0;
+    util::Bytes bytes = 0;
+    std::size_t target = 0;       ///< target of the original leg
+    sim::FlowId primaryFlow{};
+    sim::FlowId hedgeFlow{};      ///< value 0 = no live hedge leg
+    std::size_t hedgeTarget = 0;
+    int hedges = 0;               ///< hedge legs issued so far
+    std::vector<std::size_t> tried;  ///< targets already given a leg
+    util::Seconds failedAt = -1.0;
+    bool resolved = false;
+  };
+
+  /// Periodic per-chunk lag check (HedgePolicy::deadline cadence).
+  void armHedge(const std::shared_ptr<HedgeTrack>& track);
+  void hedgeCheck(const std::shared_ptr<HedgeTrack>& track);
+  /// Deterministic alternate-target choice: prefers the original target's
+  /// host (unless quarantined), then other non-quarantined hosts, then any
+  /// online target; within a class lowest (used, index).  Zero randomness.
+  bool pickHedgeTarget(const HedgeTrack& track, std::size_t& out) const;
+  void issueHedge(const std::shared_ptr<HedgeTrack>& track, std::size_t alt);
+  /// First leg landed: cancel the loser, re-home the slot on a hedge win,
+  /// resolve the chunk.
+  void resolveHedged(const std::shared_ptr<HedgeTrack>& track, bool hedgeWon,
+                     util::MiBps legRate);
+  /// The watchdog ladder took the chunk over (registry-offline target):
+  /// forget the track and cancel its hedge leg without resolving the chunk.
+  void dropHedgeTrack(sim::FlowId primaryFlow);
+  /// The good-secondary switchover (factored from onMirrorTargetOffline so
+  /// quarantine mitigation can reuse it): promote the secondary, re-send the
+  /// untransferred remainder of in-flight chunks, chain a resync if possible.
+  void switchMirrorPrimary(std::size_t group);
+
   /// One in-flight chunk of a mirrored file: a primary flow plus (for
   /// consistent writes) a replica flow; the chunk acks when both landed.
   struct MirrorChunk {
@@ -223,6 +273,14 @@ class FileSystem {
   /// (file handle, stripe slot) -> substitute target after a failover.
   std::map<std::pair<std::size_t, std::size_t>, std::size_t> substitutes_;
   MirrorStats mirrorStats_;
+  HedgeStats hedgeStats_;
+  /// Unresolved hedge tracks keyed by the original leg's flow id (also the
+  /// peer set for the lag median).
+  std::map<std::uint64_t, std::shared_ptr<HedgeTrack>> hedged_;
+  /// EWMA of completed winning legs' mean rates: the lag reference when the
+  /// in-flight peer set is itself sick (e.g. only the chunks behind a
+  /// stuttering link remain, so their median cannot expose them).
+  util::MiBps hedgeRefRate_ = 0.0;
   /// In-flight mirrored chunks per group (index == group id).
   std::vector<std::vector<std::shared_ptr<MirrorChunk>>> inflightMirror_;
   /// Active background resync flow per group (id 0 == none).

@@ -11,6 +11,16 @@ namespace {
 constexpr std::size_t kNoGroup = std::numeric_limits<std::size_t>::max();
 }  // namespace
 
+const char* hostHealthName(HostHealth state) {
+  switch (state) {
+    case HostHealth::kHealthy: return "healthy";
+    case HostHealth::kSuspect: return "suspect";
+    case HostHealth::kQuarantined: return "quarantined";
+    case HostHealth::kProbation: return "probation";
+  }
+  return "?";
+}
+
 const char* mirrorStateName(MirrorState state) {
   switch (state) {
     case MirrorState::kGood: return "good";
@@ -24,6 +34,7 @@ ManagementService::ManagementService(const topo::ClusterConfig& cluster,
                                      util::Bytes targetCapacity) {
   hostTargetCount_.resize(cluster.hosts.size());
   hostWeights_.assign(cluster.hosts.size(), 1.0);
+  hostHealth_.assign(cluster.hosts.size(), HostHealth::kHealthy);
   for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
     hostTargetCount_[h] = cluster.hosts[h].targets.size();
     for (std::size_t t = 0; t < cluster.hosts[h].targets.size(); ++t) {
@@ -92,6 +103,22 @@ double ManagementService::hostWeight(std::size_t host) const {
 
 void ManagementService::resetHostWeights() {
   std::fill(hostWeights_.begin(), hostWeights_.end(), 1.0);
+}
+
+void ManagementService::setHostHealth(std::size_t host, HostHealth state) {
+  BEESIM_ASSERT(host < hostHealth_.size(), "unknown host");
+  hostHealth_[host] = state;
+}
+
+HostHealth ManagementService::hostHealth(std::size_t host) const {
+  BEESIM_ASSERT(host < hostHealth_.size(), "unknown host");
+  return hostHealth_[host];
+}
+
+bool ManagementService::anyHostQuarantined() const {
+  return std::any_of(hostHealth_.begin(), hostHealth_.end(), [](HostHealth h) {
+    return h == HostHealth::kQuarantined;
+  });
 }
 
 std::size_t ManagementService::registerMirrorGroup(std::size_t primary,

@@ -32,6 +32,20 @@ struct TargetEntry {
   util::Bytes used = 0;
 };
 
+/// Gray-failure state of one storage host, driven by the HealthMonitor's
+/// suspect -> quarantined -> probation machine (DESIGN.md §2.9).  Registered
+/// here -- not inside the monitor -- because other components consult it:
+/// the WeightedChooser drains creates away from quarantined hosts via the
+/// host weights, and the hedging picker avoids them as hedge destinations.
+enum class HostHealth {
+  kHealthy,      ///< no evidence of trouble
+  kSuspect,      ///< below the peer-relative ratio, patience running
+  kQuarantined,  ///< drained: reduced create weight, shunned by hedges
+  kProbation,    ///< partially re-admitted, watched for a relapse
+};
+
+const char* hostHealthName(HostHealth state);
+
 /// Consistency state of a buddy-mirror group (beegfs-ctl --listmirrorgroups
 /// reports the same three states per target).
 enum class MirrorState {
@@ -102,6 +116,17 @@ class ManagementService {
   /// Back to uniform weights (controller disengaging).
   void resetHostWeights();
 
+  // -- Per-host gray-failure state (HealthMonitor; DESIGN.md §2.9). --------
+
+  /// Health state of one storage host.  All kHealthy by default; only the
+  /// HealthMonitor writes these.
+  void setHostHealth(std::size_t host, HostHealth state);
+  HostHealth hostHealth(std::size_t host) const;
+
+  /// True when any host is currently quarantined (cheap gate for the
+  /// hedging picker's health-aware path).
+  bool anyHostQuarantined() const;
+
   /// Register a buddy-mirror group.  Throws ConfigError unless both targets
   /// exist, sit on distinct hosts and belong to no other group.  Returns the
   /// group id.
@@ -138,6 +163,7 @@ class ManagementService {
   std::vector<TargetEntry> targets_;
   std::vector<std::size_t> hostTargetCount_;
   std::vector<double> hostWeights_;
+  std::vector<HostHealth> hostHealth_;
   std::vector<MirrorGroup> groups_;
   /// flat target index -> group id (or npos); sized lazily on registration.
   std::vector<std::size_t> groupOfTarget_;

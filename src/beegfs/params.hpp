@@ -148,6 +148,45 @@ struct ClientFaultPolicy {
   int maxRetries = 3;
 };
 
+/// Hedged-write mitigation for fail-slow (gray) targets (see DESIGN.md §2.9).
+/// Crash faults are caught by the watchdog ladder above; a target serving at
+/// 5% of its rate never trips it.  With hedging enabled, every in-flight
+/// write chunk is re-checked each `deadline`: a chunk whose best leg moves
+/// slower than `lagRatio` x the median of its in-flight peers (or not at
+/// all) is *hedged* -- re-issued in full to a deterministic alternate target
+/// -- and the first leg to land wins; the loser is cancelled.  The winner
+/// re-homes the stripe slot, so later segments go to it directly.  Hedge
+/// legs never pass QoS admission again: the chunk's tokens were spent at the
+/// original admission (charge-once, exactly like the retry ladder).
+struct HedgePolicy {
+  bool enabled = false;
+  /// Re-check cadence; also the minimum age before a chunk can be hedged.
+  util::Seconds deadline = 1.0;
+  /// Hedge when the chunk's best leg runs below this fraction of the median
+  /// rate of its in-flight peers.  A fully stalled chunk (rate 0) is hedged
+  /// regardless, peers or not.
+  double lagRatio = 0.25;
+  /// Cap on hedge legs issued per chunk (bounds duplicate bytes and timers
+  /// when nearly everything is degraded).
+  int maxHedges = 8;
+};
+
+/// Cumulative hedging accounting (one FileSystem's view).
+struct HedgeStats {
+  /// Hedge legs issued (duplicate chunk sends).
+  std::size_t hedgesIssued = 0;
+  /// Chunks resolved by a hedge leg (slot re-homed to the winner).
+  std::size_t hedgeWins = 0;
+  /// Hedged chunks whose original leg still landed first.
+  std::size_t primaryWins = 0;
+  /// Buddy-mirror primary switchovers triggered by quarantine (the mirrored
+  /// files' equivalent of a hedge: redirect to the healthy replica).
+  std::size_t mirrorSwitchovers = 0;
+  /// Bytes of duplicate hedge sends (leak on the losing target, like
+  /// rewrites, until an offline cleanup).
+  util::Bytes bytesHedged = 0;
+};
+
 /// Cumulative client-side failure accounting (one FileSystem's view).
 struct ClientFaultStats {
   /// Chunk failures detected by watchdog timeout (target offline).
@@ -192,6 +231,9 @@ struct BeegfsParams {
   ClientFaultPolicy faults;
   /// Storage buddy mirroring (default: disabled, no groups registered).
   MirrorPolicy mirror;
+  /// Hedged writes against fail-slow targets (default: disabled; healthy
+  /// runs stay bit-identical -- no tracks, no timers).
+  HedgePolicy hedge;
 };
 
 /// Per-run environment state (production-system mood): multiplicative

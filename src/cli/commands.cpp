@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 
+#include "control/health.hpp"
 #include "control/rebalance.hpp"
 #include "core/advisor.hpp"
 #include "core/allocation.hpp"
@@ -137,6 +138,51 @@ qos::QosPolicy qosPolicy(const Args& args) {
   return policy;
 }
 
+/// Shared --suspect-* handling: the gray-failure health monitor
+/// (DESIGN.md §2.9).  --suspect-ratio is the master switch; the patience
+/// knob without it is rejected as a likely typo.
+control::HealthPolicy healthPolicy(const Args& args) {
+  control::HealthPolicy policy;
+  const auto ratio = args.getDouble("suspect-ratio", 0.0);
+  const auto patience = args.getDouble("suspect-patience", policy.suspectPatience);
+  if (!args.get("suspect-ratio")) {
+    if (args.get("suspect-patience")) {
+      throw util::ConfigError("--suspect-patience requires --suspect-ratio");
+    }
+    return policy;
+  }
+  if (ratio <= 0.0 || ratio >= 1.0) {
+    throw util::ConfigError("--suspect-ratio must lie in (0, 1)");
+  }
+  if (patience <= 0.0) throw util::ConfigError("--suspect-patience must be > 0");
+  policy.enabled = true;
+  policy.suspectRatio = ratio;
+  policy.suspectPatience = patience;
+  return policy;
+}
+
+/// Shared --hedge* handling: hedged writes against fail-slow targets
+/// (DESIGN.md §2.9).  Tuning knobs without the master switch are rejected.
+beegfs::HedgePolicy hedgePolicy(const Args& args) {
+  beegfs::HedgePolicy policy;
+  policy.enabled = args.getBool("hedge");
+  const auto deadline = args.getDouble("hedge-deadline", policy.deadline);
+  const auto ratio = args.getDouble("hedge-ratio", policy.lagRatio);
+  if (!policy.enabled) {
+    if (args.get("hedge-deadline") || args.get("hedge-ratio")) {
+      throw util::ConfigError("--hedge-deadline/--hedge-ratio require --hedge");
+    }
+    return policy;
+  }
+  if (deadline <= 0.0) throw util::ConfigError("--hedge-deadline must be > 0");
+  if (ratio <= 0.0 || ratio >= 1.0) {
+    throw util::ConfigError("--hedge-ratio must lie in (0, 1)");
+  }
+  policy.deadline = deadline;
+  policy.lagRatio = ratio;
+  return policy;
+}
+
 /// Shared --jobs/--progress handling: worker count (default BEESIM_JOBS,
 /// else serial) plus an optional stderr status line.
 harness::ExecutorOptions executorOptions(const Args& args, const std::string& label) {
@@ -209,8 +255,13 @@ int cmdRun(const Args& args, std::ostream& out) {
   const auto faultHorizon = args.getDouble("fault-horizon", 120.0);
   const bool mirror = args.getBool("mirror");
   const auto resyncRate = args.getDouble("resync-rate", 0.0);
+  const auto failSlow = args.getDouble("fail-slow", 0.0);
+  const auto failSlowMttr = args.getDouble("fail-slow-mttr", 0.0);
+  const auto failSlowSeverity = args.getDouble("fail-slow-severity", 0.25);
   config.rebalance = rebalancePolicy(args);
   config.qos = qosPolicy(args);
+  config.health = healthPolicy(args);
+  config.fs.hedge = hedgePolicy(args);
   const auto exec = executorOptions(args, "run");
   rejectUnknownFlags(args);
 
@@ -226,6 +277,18 @@ int cmdRun(const Args& args, std::ostream& out) {
   }
   if (args.get("resync-rate") && resyncRate <= 0.0) {
     throw util::ConfigError("--resync-rate must be > 0 (omit the flag for uncapped resync)");
+  }
+  if (args.get("fail-slow") && failSlow <= 0.0) {
+    throw util::ConfigError("--fail-slow must be > 0 (mean seconds between episodes)");
+  }
+  if (!args.get("fail-slow") && (args.get("fail-slow-mttr") || args.get("fail-slow-severity"))) {
+    throw util::ConfigError("--fail-slow-mttr/--fail-slow-severity require --fail-slow");
+  }
+  if (args.get("fail-slow-mttr") && failSlowMttr <= 0.0) {
+    throw util::ConfigError("--fail-slow-mttr must be > 0");
+  }
+  if (failSlowSeverity < 0.0 || failSlowSeverity > 1.0) {
+    throw util::ConfigError("--fail-slow-severity must lie in [0, 1] (rate-multiplier ceiling)");
   }
   if (metricsDt <= 0.0) throw util::ConfigError("--metrics-dt must be > 0");
   if (traceFormat != "full" && traceFormat != "ring") {
@@ -259,10 +322,19 @@ int cmdRun(const Args& args, std::ostream& out) {
   // MTTF/MTTR renewal process.  Failure schedules need a client fault
   // policy; default to degraded-stripe mode when faults are requested.
   if (!faultSpec.empty()) config.faults.schedule = faults::parseSchedule(faultSpec);
-  if (mttf > 0.0) {
+  if (mttf > 0.0 || failSlow > 0.0) {
     faults::StochasticFaultSpec stochastic;
-    stochastic.targetMttf = mttf;
-    stochastic.targetMttr = mttr > 0.0 ? mttr : mttf / 10.0;
+    if (mttf > 0.0) {
+      stochastic.targetMttf = mttf;
+      stochastic.targetMttr = mttr > 0.0 ? mttr : mttf / 10.0;
+    }
+    if (failSlow > 0.0) {
+      // Fail-slow episodes: targets degrade to a drawn fraction of their
+      // service rate and stay registered online (gray failures).
+      stochastic.degradeMttf = failSlow;
+      stochastic.degradeMttr = failSlowMttr > 0.0 ? failSlowMttr : failSlow / 10.0;
+      stochastic.degradeCeiling = failSlowSeverity;
+    }
     stochastic.horizon = faultHorizon;
     config.faults.stochastic = stochastic;
   }
@@ -292,6 +364,8 @@ int cmdRun(const Args& args, std::ostream& out) {
   beegfs::ClientFaultStats faultTotals;
   beegfs::MirrorStats mirrorTotals;
   control::RebalanceStats rebalTotals;
+  control::HealthStats grayTotals;
+  beegfs::HedgeStats hedgeTotals;
   qos::QosStats qosTotals;
   std::size_t faultAborts = 0;
   const auto store = harness::executeCampaign(
@@ -319,6 +393,17 @@ int cmdRun(const Args& args, std::ostream& out) {
         mirrorTotals.resyncJobs += record.ior.mirror.resyncJobs;
         mirrorTotals.bytesResynced += record.ior.mirror.bytesResynced;
         mirrorTotals.resyncSeconds += record.ior.mirror.resyncSeconds;
+        grayTotals.samples += record.health.samples;
+        grayTotals.suspects += record.health.suspects;
+        grayTotals.quarantines += record.health.quarantines;
+        grayTotals.probations += record.health.probations;
+        grayTotals.readmissions += record.health.readmissions;
+        grayTotals.relapses += record.health.relapses;
+        hedgeTotals.hedgesIssued += record.ior.hedge.hedgesIssued;
+        hedgeTotals.hedgeWins += record.ior.hedge.hedgeWins;
+        hedgeTotals.primaryWins += record.ior.hedge.primaryWins;
+        hedgeTotals.mirrorSwitchovers += record.ior.hedge.mirrorSwitchovers;
+        hedgeTotals.bytesHedged += record.ior.hedge.bytesHedged;
         qosTotals.tokensIssued += record.qos.tokensIssued;
         qosTotals.tokensBorrowed += record.qos.tokensBorrowed;
         qosTotals.tokensReclaimed += record.qos.tokensReclaimed;
@@ -359,6 +444,21 @@ int cmdRun(const Args& args, std::ostream& out) {
         << " migrated=" << util::fmt(util::toMiB(rebalTotals.bytesMigrated), 1)
         << " MiB migration_time=" << util::fmt(rebalTotals.migrationSeconds, 2)
         << " s peak_imbalance=" << util::fmt(rebalTotals.peakImbalance, 3) << "\n";
+  }
+  if (config.health.enabled) {
+    out << "health (totals over " << reps << " reps): samples=" << grayTotals.samples
+        << " suspects=" << grayTotals.suspects
+        << " quarantines=" << grayTotals.quarantines
+        << " probations=" << grayTotals.probations
+        << " readmissions=" << grayTotals.readmissions
+        << " relapses=" << grayTotals.relapses << "\n";
+  }
+  if (config.fs.hedge.enabled) {
+    out << "hedge (totals over " << reps << " reps): issued=" << hedgeTotals.hedgesIssued
+        << " wins=" << hedgeTotals.hedgeWins
+        << " primary_wins=" << hedgeTotals.primaryWins
+        << " mirror_switchovers=" << hedgeTotals.mirrorSwitchovers
+        << " hedged=" << util::fmt(util::toMiB(hedgeTotals.bytesHedged), 1) << " MiB\n";
   }
   if (config.qos.enabled) {
     out << "qos (totals over " << reps << " reps): issued="
@@ -533,6 +633,8 @@ int cmdConcurrent(const Args& args, std::ostream& out) {
   auto base = baseConfig(args, cluster);
   base.rebalance = rebalancePolicy(args);
   base.qos = qosPolicy(args);
+  base.health = healthPolicy(args);
+  base.fs.hedge = hedgePolicy(args);
   const auto exec = executorOptions(args, "concurrent");
   rejectUnknownFlags(args);
   base.fs.defaultStripe.stripeCount = stripe;
@@ -633,9 +735,16 @@ std::string usage() {
          "                --metrics-out FILE.csv  virtual-time metrics series (aggregate\n"
          "                            MiB/s, per-server link MiB/s, link imbalance)\n"
          "                --metrics-dt S          sampling interval (default 0.1)\n"
-         "                --faults \"off:t3@30;on:t3@90;off:h1@60;link:h0@40=0.5\"\n"
+         "                --faults \"off:t3@30;on:t3@90;off:h1@60;link:h0@40=0.5;slow:t2@20=0.1\"\n"
+         "                            (slow:tN@T=F degrades target N to fraction F of its\n"
+         "                            service rate while it stays registered online)\n"
          "                --fault-mode strict|degraded (default degraded with --faults)\n"
          "                --io-timeout S --mttf S --mttr S --fault-horizon S\n"
+         "                --fail-slow S         stochastic gray failures: mean seconds\n"
+         "                            between fail-slow episodes per target\n"
+         "                --fail-slow-mttr S    mean episode duration (default fail-slow/10)\n"
+         "                --fail-slow-severity F  worst-case rate multiplier drawn per\n"
+         "                            episode, in [0,1] (default 0.25; 0 = dead-but-online)\n"
          "                --mirror    stripe over buddy-mirror groups (synchronous\n"
          "                            cross-host replication with automatic failover)\n"
          "                --resync-rate MiBps   cap background resync flows (default uncapped)\n"
@@ -656,9 +765,20 @@ std::string usage() {
          "                            --qos-rate; accepts 64m/1g suffixes)\n"
          "                --qos-borrow          let under-subscribed apps lend unused\n"
          "                            tokens to over-subscribed ones (AdapTBF-style)\n"
+         "                --suspect-ratio R     enable the gray-failure health monitor:\n"
+         "                            quarantine a server whose throughput EWMA stays\n"
+         "                            below R x the busy-peer median (R in (0,1))\n"
+         "                --suspect-patience S  seconds below the ratio before quarantine\n"
+         "                            (default 1.0; requires --suspect-ratio)\n"
+         "                --hedge               hedge stalled write chunks: re-issue to an\n"
+         "                            alternate target, first finisher wins\n"
+         "                --hedge-deadline S    stall check interval (default 1.0)\n"
+         "                --hedge-ratio R       hedge when a chunk's best leg runs below\n"
+         "                            R x the peer median rate (default 0.25)\n"
          "sweep flags:    --ppn --reps --total --chooser --rebalance*\n"
          "concurrent:     --apps --nodes-per-app --ppn --stripe --total --reps\n"
          "                --rebalance* --qos --qos-rate --qos-burst --qos-borrow\n"
+         "                --suspect-ratio --suspect-patience --hedge*\n"
          "export-cluster: --out FILE\n";
 }
 
@@ -670,7 +790,7 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream
   const std::string command = argv[0];
   try {
     const Args args(std::vector<std::string>(argv.begin() + 1, argv.end()),
-                    {"progress", "mirror", "rebalance", "qos", "qos-borrow"});
+                    {"progress", "mirror", "rebalance", "qos", "qos-borrow", "hedge"});
     if (command == "describe") return cmdDescribe(args, out);
     if (command == "run") return cmdRun(args, out);
     if (command == "sweep") return cmdSweep(args, out);

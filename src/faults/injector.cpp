@@ -8,6 +8,10 @@ FaultInjector::FaultInjector(beegfs::Deployment& deployment, FaultSchedule sched
     : deployment_(deployment), schedule_(std::move(schedule)) {
   schedule_.normalize(deployment_.cluster().targetCount(),
                       deployment_.cluster().hosts.size());
+  targetFailed_.assign(deployment_.cluster().targetCount(), false);
+  hostFailed_.assign(deployment_.cluster().hosts.size(), false);
+  targetDegrade_.assign(deployment_.cluster().targetCount(), 1.0);
+  linkDegrade_.assign(deployment_.cluster().hosts.size(), 1.0);
 }
 
 void FaultInjector::arm(util::Seconds origin) {
@@ -16,6 +20,17 @@ void FaultInjector::arm(util::Seconds origin) {
   for (const auto& event : schedule_.events) {
     engine.schedule(origin + event.at, [this, event] { apply(event); });
   }
+}
+
+void FaultInjector::applyTargetState(std::size_t target) {
+  auto& mgmt = deployment_.mgmt();
+  const bool down = targetFailed_[target] || hostFailed_[mgmt.target(target).host];
+  mgmt.setTargetOnline(target, !down);
+  deployment_.setTargetHealth(target, down ? 0.0 : targetDegrade_[target]);
+}
+
+void FaultInjector::applyLinkState(std::size_t host) {
+  deployment_.setHostLinkHealth(host, hostFailed_[host] ? 0.0 : linkDegrade_[host]);
 }
 
 void FaultInjector::apply(const FaultEvent& event) {
@@ -28,37 +43,44 @@ void FaultInjector::apply(const FaultEvent& event) {
 
   switch (event.kind) {
     case FaultKind::kTargetFail:
-      mgmt.setTargetOnline(event.index, false);
-      deployment_.setTargetHealth(event.index, 0.0);
+      targetFailed_[event.index] = true;
+      applyTargetState(event.index);
       ++stats_.targetFailures;
       break;
     case FaultKind::kTargetRecover:
-      mgmt.setTargetOnline(event.index, true);
-      deployment_.setTargetHealth(event.index, 1.0);
+      // Clears only the target-level cause: the target stays down while its
+      // host's crash is still outstanding, and comes back at its degrade
+      // fraction (not a clean 1.0) if a fail-slow episode is still open.
+      targetFailed_[event.index] = false;
+      applyTargetState(event.index);
       ++stats_.targetRecoveries;
       break;
     case FaultKind::kHostFail:
       // An OSS crash takes down its link and every OST it serves.
-      deployment_.setHostLinkHealth(event.index, 0.0);
-      forEachTargetOnHost(event.index, [&](std::size_t t) {
-        mgmt.setTargetOnline(t, false);
-        deployment_.setTargetHealth(t, 0.0);
-      });
+      hostFailed_[event.index] = true;
+      applyLinkState(event.index);
+      forEachTargetOnHost(event.index, [&](std::size_t t) { applyTargetState(t); });
       ++stats_.hostFailures;
       break;
     case FaultKind::kHostRecover:
-      // A reboot revives the host wholesale, including targets that had
-      // failed individually beforehand.
-      deployment_.setHostLinkHealth(event.index, 1.0);
-      forEachTargetOnHost(event.index, [&](std::size_t t) {
-        mgmt.setTargetOnline(t, true);
-        deployment_.setTargetHealth(t, 1.0);
-      });
+      // A reboot revives only what the crash took down: targets with an
+      // outstanding kTargetFail stay offline, a link degraded by its own
+      // kLinkDegrade comes back at that fraction, fail-slow targets at
+      // theirs.
+      hostFailed_[event.index] = false;
+      applyLinkState(event.index);
+      forEachTargetOnHost(event.index, [&](std::size_t t) { applyTargetState(t); });
       ++stats_.hostRecoveries;
       break;
     case FaultKind::kLinkDegrade:
-      deployment_.setHostLinkHealth(event.index, event.fraction);
+      linkDegrade_[event.index] = event.fraction;
+      applyLinkState(event.index);
       ++stats_.linkDegradations;
+      break;
+    case FaultKind::kTargetDegrade:
+      targetDegrade_[event.index] = event.fraction;
+      applyTargetState(event.index);
+      ++stats_.targetDegradations;
       break;
   }
   // Re-solve in-flight flows against the new capacities at the fault instant.

@@ -21,10 +21,11 @@ struct InjectorStats {
   std::size_t hostFailures = 0;
   std::size_t hostRecoveries = 0;
   std::size_t linkDegradations = 0;
+  std::size_t targetDegradations = 0;
 
   std::size_t total() const {
     return targetFailures + targetRecoveries + hostFailures + hostRecoveries +
-           linkDegradations;
+           linkDegradations + targetDegradations;
   }
 };
 
@@ -49,10 +50,25 @@ class FaultInjector {
 
  private:
   void apply(const FaultEvent& event);
+  /// Recompute one target's registry state and health from its outstanding
+  /// causes: offline while its own failure *or* its host's crash is
+  /// outstanding; otherwise online at its current degrade fraction.
+  void applyTargetState(std::size_t target);
+  /// Recompute one host link's health: 0 while the host crash is
+  /// outstanding, else the current link-degrade fraction.
+  void applyLinkState(std::size_t host);
 
   beegfs::Deployment& deployment_;
   FaultSchedule schedule_;
   InjectorStats stats_;
+  // Per-resource outage causes.  A recovery clears only its own cause: a
+  // host reboot must not revive a target that failed independently, nor
+  // repair a link that was degraded by its own event (the PR 3 injector
+  // clobbered both).
+  std::vector<bool> targetFailed_;
+  std::vector<bool> hostFailed_;
+  std::vector<double> targetDegrade_;
+  std::vector<double> linkDegrade_;
 };
 
 }  // namespace beesim::faults

@@ -20,6 +20,8 @@ const char* faultKindName(FaultKind kind) {
       return "host-recover";
     case FaultKind::kLinkDegrade:
       return "link-degrade";
+    case FaultKind::kTargetDegrade:
+      return "target-degrade";
   }
   BEESIM_ASSERT(false, "unknown fault kind");
   return "?";  // unreachable
@@ -31,13 +33,40 @@ bool FaultSchedule::hasFailures() const {
   });
 }
 
+namespace {
+
+/// Tie-break rank for simultaneous events: recoveries apply before degrades,
+/// degrades before failures, so conflicting events on the same index at the
+/// same instant net out to the *failed* state regardless of input order.
+int kindRank(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTargetRecover:
+      return 0;
+    case FaultKind::kHostRecover:
+      return 1;
+    case FaultKind::kTargetDegrade:
+      return 2;
+    case FaultKind::kLinkDegrade:
+      return 3;
+    case FaultKind::kTargetFail:
+      return 4;
+    case FaultKind::kHostFail:
+      return 5;
+  }
+  BEESIM_ASSERT(false, "unknown fault kind");
+  return 6;  // unreachable
+}
+
+}  // namespace
+
 void FaultSchedule::normalize(std::size_t targetCount, std::size_t hostCount) {
   for (const auto& e : events) {
     if (e.at < 0.0) {
       throw util::ConfigError("fault event time must be >= 0");
     }
-    const bool targetScoped =
-        e.kind == FaultKind::kTargetFail || e.kind == FaultKind::kTargetRecover;
+    const bool targetScoped = e.kind == FaultKind::kTargetFail ||
+                              e.kind == FaultKind::kTargetRecover ||
+                              e.kind == FaultKind::kTargetDegrade;
     if (targetScoped && e.index >= targetCount) {
       throw util::ConfigError("fault event target index out of range: t" +
                               std::to_string(e.index));
@@ -46,14 +75,21 @@ void FaultSchedule::normalize(std::size_t targetCount, std::size_t hostCount) {
       throw util::ConfigError("fault event host index out of range: h" +
                               std::to_string(e.index));
     }
-    if (e.kind == FaultKind::kLinkDegrade && (e.fraction <= 0.0 || e.fraction > 1.0)) {
-      throw util::ConfigError(
-          "link degradation fraction must be in (0, 1]; a zero-capacity link "
-          "stalls chunks while the target stays registered online");
+    const bool degrade =
+        e.kind == FaultKind::kLinkDegrade || e.kind == FaultKind::kTargetDegrade;
+    if (degrade && (e.fraction < 0.0 || e.fraction > 1.0)) {
+      throw util::ConfigError("degradation fraction must be in [0, 1]");
     }
   }
-  std::stable_sort(events.begin(), events.end(),
-                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  // Total order: time, then the documented tie-break (recover < degrade <
+  // fail), then index, then fraction.  std::sort is safe because the key is
+  // total -- equal keys are interchangeable events.
+  std::sort(events.begin(), events.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (kindRank(a.kind) != kindRank(b.kind)) return kindRank(a.kind) < kindRank(b.kind);
+    if (a.index != b.index) return a.index < b.index;
+    return a.fraction < b.fraction;
+  });
 }
 
 void FaultSchedule::clampToHorizon(util::Seconds horizon) {
@@ -82,19 +118,53 @@ void generateRenewal(std::vector<FaultEvent>& out, FaultKind fail, FaultKind rec
   }
 }
 
+/// Fail-slow renewal: like generateRenewal, but the "fail" side is a degrade
+/// event of the same kind with a severity drawn uniformly from [floor,
+/// ceiling] and the "recover" side restores fraction 1.  The severity draw
+/// happens inside the per-entity stream, so the whole schedule stays a pure
+/// function of the rng state.
+void generateDegradeRenewal(std::vector<FaultEvent>& out, FaultKind kind, std::size_t count,
+                            util::Seconds mttf, util::Seconds mttr, double floor,
+                            double ceiling, util::Seconds horizon, util::Rng& rng) {
+  if (mttf <= 0.0 || mttr <= 0.0) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    util::Seconds t = rng.exponential(mttf);
+    while (t < horizon) {
+      out.push_back(FaultEvent{t, kind, i, rng.uniform(floor, ceiling)});
+      t += rng.exponential(mttr);
+      if (t >= horizon) break;  // stays degraded past the horizon
+      out.push_back(FaultEvent{t, kind, i, 1.0});
+      t += rng.exponential(mttf);
+    }
+  }
+}
+
 }  // namespace
 
 FaultSchedule generateSchedule(const StochasticFaultSpec& spec, std::size_t targetCount,
                                std::size_t hostCount, util::Rng& rng) {
   if (spec.horizon <= 0.0 &&
-      (spec.targetMttf > 0.0 || spec.hostMttf > 0.0)) {
+      (spec.targetMttf > 0.0 || spec.hostMttf > 0.0 || spec.degradeMttf > 0.0 ||
+       spec.linkStutterMttf > 0.0)) {
     throw util::ConfigError("stochastic fault spec needs a horizon > 0");
+  }
+  if (spec.degradeFloor < 0.0 || spec.degradeCeiling > 1.0 ||
+      spec.degradeFloor > spec.degradeCeiling) {
+    throw util::ConfigError("degrade severity range must satisfy 0 <= floor <= ceiling <= 1");
   }
   FaultSchedule schedule;
   generateRenewal(schedule.events, FaultKind::kTargetFail, FaultKind::kTargetRecover,
                   targetCount, spec.targetMttf, spec.targetMttr, spec.horizon, rng);
   generateRenewal(schedule.events, FaultKind::kHostFail, FaultKind::kHostRecover, hostCount,
                   spec.hostMttf, spec.hostMttr, spec.horizon, rng);
+  // Fail-slow streams draw *after* the crash streams, so enabling them never
+  // perturbs the crash schedule an existing seed produced.
+  generateDegradeRenewal(schedule.events, FaultKind::kTargetDegrade, targetCount,
+                         spec.degradeMttf, spec.degradeMttr, spec.degradeFloor,
+                         spec.degradeCeiling, spec.horizon, rng);
+  generateDegradeRenewal(schedule.events, FaultKind::kLinkDegrade, hostCount,
+                         spec.linkStutterMttf, spec.linkStutterMttr, spec.degradeFloor,
+                         spec.degradeCeiling, spec.horizon, rng);
   // generateRenewal already stops at the horizon, but the boundary case (an
   // event at exactly t == horizon) must follow the documented half-open
   // contract regardless of how the events were produced.
@@ -142,9 +212,9 @@ FaultSchedule parseSchedule(const std::string& text) {
     std::string rest = item.substr(colon + 1);
 
     double fraction = 1.0;
-    if (verb == "link") {
+    if (verb == "link" || verb == "slow") {
       const auto eq = rest.find('=');
-      if (eq == std::string::npos) parseError(item, "link events need '=fraction'");
+      if (eq == std::string::npos) parseError(item, verb + " events need '=fraction'");
       fraction = parseNumber(item, util::trim(rest.substr(eq + 1)));
       rest = rest.substr(0, eq);
     }
@@ -175,6 +245,9 @@ FaultSchedule parseSchedule(const std::string& text) {
     } else if (verb == "link") {
       if (!isHost) parseError(item, "link events apply to hosts (hN)");
       kind = FaultKind::kLinkDegrade;
+    } else if (verb == "slow") {
+      if (isHost) parseError(item, "slow events apply to targets (tN); use link: for hosts");
+      kind = FaultKind::kTargetDegrade;
     } else {
       parseError(item, "unknown verb '" + verb + "'");
     }
@@ -189,7 +262,9 @@ std::string describeSchedule(const FaultSchedule& schedule) {
   for (const auto& e : schedule.events) {
     if (!first) out << ';';
     first = false;
-    const char scope = (e.kind == FaultKind::kTargetFail || e.kind == FaultKind::kTargetRecover)
+    const char scope = (e.kind == FaultKind::kTargetFail ||
+                        e.kind == FaultKind::kTargetRecover ||
+                        e.kind == FaultKind::kTargetDegrade)
                            ? 't'
                            : 'h';
     switch (e.kind) {
@@ -204,9 +279,14 @@ std::string describeSchedule(const FaultSchedule& schedule) {
       case FaultKind::kLinkDegrade:
         out << "link:";
         break;
+      case FaultKind::kTargetDegrade:
+        out << "slow:";
+        break;
     }
     out << scope << e.index << '@' << e.at;
-    if (e.kind == FaultKind::kLinkDegrade) out << '=' << e.fraction;
+    if (e.kind == FaultKind::kLinkDegrade || e.kind == FaultKind::kTargetDegrade) {
+      out << '=' << e.fraction;
+    }
   }
   return out.str();
 }

@@ -25,6 +25,8 @@ enum class FaultKind {
   kHostFail,      // a whole OSS crashes: its link and every OST on it
   kHostRecover,   // the OSS reboots: link and all its OSTs healthy again
   kLinkDegrade,   // a server link drops to `fraction` of capacity (1 = repaired)
+  kTargetDegrade, // fail-slow: one OST serves at `fraction` of its rate while
+                  // staying registered online (1 = repaired)
 };
 
 const char* faultKindName(FaultKind kind);
@@ -35,9 +37,12 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kTargetFail;
   /// Flat target index (kTarget*) or storage-host index (kHost*, kLinkDegrade).
   std::size_t index = 0;
-  /// kLinkDegrade only: capacity multiplier in (0, 1].  Must stay > 0 -- a
-  /// dead-but-online link would stall chunks without the watchdog ever
-  /// seeing an offline target.
+  /// kLinkDegrade / kTargetDegrade only: capacity multiplier in [0, 1].
+  /// 0 is legal and models the gray-failure extreme -- a dead-but-online
+  /// resource the crash-fault watchdog can never see because the registry
+  /// still reports the target online.  Such chunks only terminate through
+  /// hedging (HedgePolicy) or a later repair event; schedules that drive a
+  /// resource to 0 without either will stall the run.
   double fraction = 1.0;
 };
 
@@ -50,8 +55,12 @@ struct FaultSchedule {
   /// Such schedules require a ClientFaultPolicy mode other than kNone.
   bool hasFailures() const;
 
-  /// Stable-sort events by time and validate them against a deployment size
-  /// (index bounds, link fractions in (0, 1], non-negative times).  Throws
+  /// Sort events by time and validate them against a deployment size (index
+  /// bounds, degrade fractions in [0, 1], non-negative times).  Simultaneous
+  /// events are ordered by a deterministic tie-break independent of input
+  /// order: recoveries first, then degrades, then failures (so a fail and a
+  /// recover of the same resource at the same instant net out to *failed*),
+  /// then ascending index, then ascending fraction.  Throws
   /// util::ConfigError on invalid events.
   void normalize(std::size_t targetCount, std::size_t hostCount);
 
@@ -69,6 +78,20 @@ struct StochasticFaultSpec {
   util::Seconds targetMttr = 0.0;
   util::Seconds hostMttf = 0.0;
   util::Seconds hostMttr = 0.0;
+  /// Fail-slow (gray) episodes: each target alternates healthy/degraded with
+  /// these means; a degrade onset carries a service-rate multiplier drawn
+  /// uniformly from [degradeFloor, degradeCeiling] (deterministically from
+  /// the campaign rng stream), the matching recovery restores fraction 1.
+  util::Seconds degradeMttf = 0.0;
+  util::Seconds degradeMttr = 0.0;
+  /// Link stutters: same renewal shape per host link (kLinkDegrade events
+  /// with a drawn fraction, repaired back to 1).
+  util::Seconds linkStutterMttf = 0.0;
+  util::Seconds linkStutterMttr = 0.0;
+  /// Severity range for drawn degrade/stutter multipliers.  The floor may be
+  /// 0 (dead-but-online, see FaultEvent::fraction).
+  double degradeFloor = 0.0;
+  double degradeCeiling = 0.25;
   /// Events are generated in the half-open window [0, horizon): an event
   /// landing exactly on the horizon is dropped, failures and recoveries
   /// alike (FaultSchedule::clampToHorizon documents and enforces this).
@@ -89,6 +112,10 @@ FaultSchedule generateSchedule(const StochasticFaultSpec& spec, std::size_t targ
 ///   on:h1@120        host 1 reboots
 ///   link:h0@40=0.5   host 0's link drops to 50% capacity at t=40s
 ///   link:h0@80=1     ... and is repaired at t=80s
+///   slow:t3@30=0.1   target 3 fail-slows to 10% service rate at t=30s
+///   slow:t3@90=1     ... and recovers at t=90s
+///
+/// Degrade fractions may be 0 (dead-but-online; see FaultEvent::fraction).
 ///
 /// Whitespace around tokens is ignored.  Throws util::ConfigError on syntax
 /// errors.  Bounds are checked later by FaultSchedule::normalize.

@@ -74,6 +74,26 @@ ResultRow makeRow(const CampaignEntry& entry, const PlannedRun& planned,
     row.metrics["rebal_migration_seconds"] = record.rebalance.migrationSeconds;
     row.metrics["rebal_peak_imbalance"] = record.rebalance.peakImbalance;
   }
+  if (record.healthActive) {
+    // Same contract as fault_*: only monitor-armed runs carry these columns,
+    // so campaigns with gray-failure detection off keep their exact bytes.
+    row.metrics["gray_samples"] = static_cast<double>(record.health.samples);
+    row.metrics["gray_suspects"] = static_cast<double>(record.health.suspects);
+    row.metrics["gray_quarantines"] = static_cast<double>(record.health.quarantines);
+    row.metrics["gray_probations"] = static_cast<double>(record.health.probations);
+    row.metrics["gray_readmissions"] = static_cast<double>(record.health.readmissions);
+    row.metrics["gray_relapses"] = static_cast<double>(record.health.relapses);
+  }
+  if (record.hedgeActive) {
+    // Same contract as fault_*: only hedge-armed runs carry these columns.
+    row.metrics["hedge_issued"] = static_cast<double>(record.ior.hedge.hedgesIssued);
+    row.metrics["hedge_wins"] = static_cast<double>(record.ior.hedge.hedgeWins);
+    row.metrics["hedge_primary_wins"] =
+        static_cast<double>(record.ior.hedge.primaryWins);
+    row.metrics["hedge_mirror_switchovers"] =
+        static_cast<double>(record.ior.hedge.mirrorSwitchovers);
+    row.metrics["hedge_mib"] = util::toMiB(record.ior.hedge.bytesHedged);
+  }
   if (record.qosActive) {
     // Same contract as fault_*: only QoS-managed runs carry these columns,
     // so campaigns with QoS off keep their exact bytes.

@@ -69,6 +69,11 @@ ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>
   std::optional<control::RebalanceController> rebalance;
   if (base.rebalance.enabled) rebalance.emplace(fs, base.rebalance);
 
+  // Gray-failure detection composes with concurrent apps unchanged: the
+  // monitor watches server NICs, not applications.
+  std::optional<control::HealthMonitor> health;
+  if (base.health.enabled) health.emplace(fs, base.health);
+
   // QoS: one token bucket per application (DESIGN.md §2.8).  Apps without an
   // explicit spec inherit the policy's default reservation.
   std::optional<qos::QosManager> qosManager;
@@ -118,11 +123,14 @@ ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>
     options.testFile += ".app" + std::to_string(a);
     ior::launchIor(
         fs, apps[a].job, options, base.startAt + apps[a].startOffset,
-        [&result, &remaining, &rebalance, a](const ior::IorResult& r) {
+        [&result, &remaining, &rebalance, &health, a](const ior::IorResult& r) {
           result.apps[a] = r;
           // Disarm once the *last* application completes: the controller
           // keeps serving the survivors of a staggered schedule.
-          if (--remaining == 0 && rebalance) rebalance->disarm();
+          if (--remaining == 0) {
+            if (rebalance) rebalance->disarm();
+            if (health) health->disarm();
+          }
         },
         apps[a].pinnedTargets);
   }
@@ -132,6 +140,14 @@ ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>
     rebalance->cancel();
     result.rebalanceActive = true;
     result.rebalance = rebalance->stats();
+  }
+  if (health) {
+    result.healthActive = true;
+    result.health = health->stats();
+  }
+  if (base.fs.hedge.enabled) {
+    result.hedgeActive = true;
+    result.hedge = fs.hedgeStats();
   }
   if (injector) result.injected = injector->stats();
   if (qosManager) {

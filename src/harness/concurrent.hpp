@@ -53,6 +53,14 @@ struct ConcurrentResult {
   bool faultsActive = false;
   /// What the injector fired (zeroed when !faultsActive).
   faults::InjectorStats injected;
+  /// True when the gray-failure health monitor ran for this experiment.
+  bool healthActive = false;
+  /// What the monitor observed/did (zeroed when !healthActive).
+  control::HealthStats health;
+  /// True when hedged writes were enabled (base.fs.hedge.enabled).
+  bool hedgeActive = false;
+  /// Experiment-wide hedging accounting (zeroed when !hedgeActive).
+  beegfs::HedgeStats hedge;
   /// True when the QoS manager ran for this experiment.
   bool qosActive = false;
   /// Aggregated QoS accounting; sloViolations counts apps whose achieved

@@ -7,6 +7,7 @@
 
 #include "beegfs/deployment.hpp"
 #include "beegfs/filesystem.hpp"
+#include "control/health.hpp"
 #include "control/rebalance.hpp"
 #include "core/metrics.hpp"
 #include "sim/fluid.hpp"
@@ -63,6 +64,11 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
   std::optional<control::RebalanceController> rebalance;
   if (config.rebalance.enabled) rebalance.emplace(fs, config.rebalance);
 
+  // Gray-failure detection: same contract -- the monitor (and its tracer)
+  // exists only when enabled, so default runs keep their exact legacy bytes.
+  std::optional<control::HealthMonitor> health;
+  if (config.health.enabled) health.emplace(fs, config.health);
+
   // QoS: the whole job is one application (single-tenant limiter).  Same
   // contract as the controller -- nothing is constructed when disabled.
   std::optional<qos::QosManager> qosManager;
@@ -114,6 +120,7 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
         // Freeze the controller the instant the job completes: in-flight
         // migrations drain, but their tail traffic cannot re-trigger it.
         if (rebalance) rebalance->disarm();
+        if (health) health->disarm();
       },
       config.pinnedTargets);
   fluid.run();
@@ -130,6 +137,16 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
     rebalance->cancel();  // safety: the drained run left no active flows
     record.rebalanceActive = true;
     record.rebalance = rebalance->stats();
+  }
+  if (health) {
+    record.healthActive = true;
+    record.health = health->stats();
+  }
+  if (config.fs.hedge.enabled) {
+    record.hedgeActive = true;
+    // Quarantine switchovers can land after the job's completion snapshot;
+    // the fresh-per-run file system makes its totals this run's delta.
+    record.ior.hedge = fs.hedgeStats();
   }
   if (qosManager) {
     record.qosActive = true;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "beegfs/params.hpp"
+#include "control/health.hpp"
 #include "control/rebalance.hpp"
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
@@ -65,6 +66,10 @@ struct RunConfig {
   /// controller is then never constructed and the run stays bitwise
   /// identical to pre-controller builds.
   control::RebalancePolicy rebalance;
+  /// Gray-failure detection (DESIGN.md §2.9).  Disabled by default: the
+  /// monitor is then never constructed and the run stays bitwise identical
+  /// to pre-monitor builds.
+  control::HealthPolicy health;
   /// Multi-tenant QoS (DESIGN.md §2.8).  Disabled by default: the manager is
   /// then never constructed and the run stays bitwise identical to
   /// pre-QoS builds.  runOnce registers the whole job as one application at
@@ -94,6 +99,14 @@ struct RunRecord {
   bool rebalanceActive = false;
   /// What the controller did (zeroed when !rebalanceActive).
   control::RebalanceStats rebalance;
+  /// True when the gray-failure health monitor ran (campaign rows then
+  /// carry the gray_* metric columns).
+  bool healthActive = false;
+  /// What the monitor observed/did (zeroed when !healthActive).
+  control::HealthStats health;
+  /// True when hedged writes were enabled (campaign rows then carry the
+  /// hedge_* metric columns; the counters live in ior.hedge).
+  bool hedgeActive = false;
   /// True when the QoS manager ran (campaign rows then carry the qos_*
   /// metric columns).
   bool qosActive = false;

@@ -51,6 +51,8 @@ struct RunState {
   beegfs::ClientFaultStats faultBaseline;
   /// Mirror-counter snapshot at launch.
   beegfs::MirrorStats mirrorBaseline;
+  /// Hedge-counter snapshot at launch.
+  beegfs::HedgeStats hedgeBaseline;
 };
 
 /// Counter delta `now` - `base` (aborted is the file system's current state:
@@ -64,6 +66,17 @@ beegfs::ClientFaultStats faultDelta(const beegfs::ClientFaultStats& now,
   d.bytesRewritten = now.bytesRewritten - base.bytesRewritten;
   d.degradedTime = now.degradedTime - base.degradedTime;
   d.aborted = now.aborted;
+  return d;
+}
+
+beegfs::HedgeStats hedgeDelta(const beegfs::HedgeStats& now,
+                              const beegfs::HedgeStats& base) {
+  beegfs::HedgeStats d;
+  d.hedgesIssued = now.hedgesIssued - base.hedgesIssued;
+  d.hedgeWins = now.hedgeWins - base.hedgeWins;
+  d.primaryWins = now.primaryWins - base.primaryWins;
+  d.mirrorSwitchovers = now.mirrorSwitchovers - base.mirrorSwitchovers;
+  d.bytesHedged = now.bytesHedged - base.bytesHedged;
   return d;
 }
 
@@ -94,6 +107,7 @@ void issueSegment(const std::shared_ptr<RunState>& state, int rank, int segment)
       result.end = state->fs->deployment().fluid().now();
       result.faults = faultDelta(state->fs->faultStats(), state->faultBaseline);
       result.mirror = mirrorDelta(state->fs->mirrorStats(), state->mirrorBaseline);
+      result.hedge = hedgeDelta(state->fs->hedgeStats(), state->hedgeBaseline);
       result.failed = result.faults.aborted;
       result.bandwidth =
           result.failed ? 0.0
@@ -148,6 +162,7 @@ void launchIor(beegfs::FileSystem& fs, const IorJob& job, const IorOptions& opti
     state->result.start = deployment.fluid().now();
     state->faultBaseline = fs.faultStats();
     state->mirrorBaseline = fs.mirrorStats();
+    state->hedgeBaseline = fs.hedgeStats();
 
     // Metadata phase: rank 0 creates the file(s); then every rank opens.
     const auto chunk = fs.settingsFor(options.testFile).chunkSize;

@@ -73,6 +73,9 @@ struct IorResult {
   /// counting in the file system's totals; the harness re-snapshots after
   /// the simulation drains (see harness::runOnce).
   beegfs::MirrorStats mirror;
+  /// Hedged-write accounting attributable to this run (delta between launch
+  /// and completion; all-zero unless HedgePolicy::enabled).
+  beegfs::HedgeStats hedge;
   /// True when the run was aborted by the fault policy (strict mode, or
   /// degraded mode with no surviving target).  `bandwidth` is reported as 0
   /// for failed runs -- the planned bytes never fully landed.

@@ -56,8 +56,10 @@ void FlowTracer::recordSample(SimTime at) {
   sample.activeFlows = live_.size();
   sample.aggregateRate = totalRate_;
   sample.linkRates.reserve(trackedLinks_.size());
+  sample.linkFlows.reserve(trackedLinks_.size());
   for (const auto link : trackedLinks_) {
     sample.linkRates.push_back(resourceRate_[link.value]);
+    sample.linkFlows.push_back(resourceFlows_[link.value]);
   }
   sample.linkImbalance = core::linkImbalance(sample.linkRates);
   samples_.push_back(std::move(sample));

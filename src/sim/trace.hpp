@@ -75,6 +75,10 @@ struct MetricsSample {
   util::MiBps aggregateRate = 0.0;
   /// Current aggregate rate through each tracked link (trackLink order).
   std::vector<util::MiBps> linkRates;
+  /// Active flows currently crossing each tracked link (trackLink order).
+  /// Lets peer-relative consumers (the HealthMonitor) distinguish "idle" --
+  /// no evidence -- from "has traffic but moves nothing" (dead-but-online).
+  std::vector<std::uint32_t> linkFlows;
   /// max/mean over the tracked links' rates: 1 = perfectly balanced,
   /// H = everything through one of H links, 0 = all links idle.
   double linkImbalance = 0.0;

@@ -71,9 +71,17 @@ TEST(FaultSchedule, NormalizeChecksBoundsAndSorts) {
   EXPECT_THROW(outOfRange.normalize(8, 2), util::ConfigError);
   auto badHost = faults::parseSchedule("off:h2@1");
   EXPECT_THROW(badHost.normalize(8, 2), util::ConfigError);
+  // Dead-but-online (fraction 0) became legal with the gray-failure model;
+  // out-of-range fractions are still rejected.
   auto deadLink = faults::FaultSchedule{
       {faults::FaultEvent{1.0, faults::FaultKind::kLinkDegrade, 0, 0.0}}};
-  EXPECT_THROW(deadLink.normalize(8, 2), util::ConfigError);
+  EXPECT_NO_THROW(deadLink.normalize(8, 2));
+  auto overUnity = faults::FaultSchedule{
+      {faults::FaultEvent{1.0, faults::FaultKind::kLinkDegrade, 0, 1.5}}};
+  EXPECT_THROW(overUnity.normalize(8, 2), util::ConfigError);
+  auto negative = faults::FaultSchedule{
+      {faults::FaultEvent{1.0, faults::FaultKind::kTargetDegrade, 0, -0.1}}};
+  EXPECT_THROW(negative.normalize(8, 2), util::ConfigError);
 }
 
 TEST(FaultSchedule, StochasticGeneratorIsDeterministicAndAlternates) {
