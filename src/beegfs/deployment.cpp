@@ -137,6 +137,27 @@ Deployment::Deployment(sim::FluidSimulator& fluid, topo::ClusterConfig cluster,
       }));
     }
   }
+
+  // -- Metadata targets (queued MDS/MDT model; DESIGN.md §2.10). ----------
+  // Gated on the master switch: the default scalar model registers no
+  // resources and attaches nothing, so legacy runs stay bitwise identical.
+  if (params_.meta.queued) {
+    MetaService* meta = &meta_;
+    std::vector<sim::ResourceIndex> mdtRes;
+    mdtRes.reserve(meta_.mdtCount());
+    for (std::size_t k = 0; k < meta_.mdtCount(); ++k) {
+      mdtRes.push_back(fluid_.addResource(sim::ResourceSpec{
+          .name = cluster_.name + "/mdt" + std::to_string(k),
+          .capacity =
+              [meta](const sim::ResourceLoad& load) {
+                return meta->rampFactor(load.queueDepth) *
+                       MetaService::kSaturationMiBps;
+              },
+      }));
+    }
+    mdtRes_ = mdtRes;
+    meta_.attach(fluid_, std::move(mdtRes));
+  }
 }
 
 void Deployment::setTargetHealth(std::size_t flatTarget, double factor) {
@@ -273,6 +294,11 @@ std::optional<sim::ResourceIndex> Deployment::ossResource(std::size_t host) cons
 sim::ResourceIndex Deployment::ostResource(std::size_t flatTarget) const {
   BEESIM_ASSERT(flatTarget < ostRes_.size(), "unknown storage target");
   return ostRes_[flatTarget];
+}
+
+sim::ResourceIndex Deployment::mdtResource(std::size_t mdt) const {
+  BEESIM_ASSERT(mdt < mdtRes_.size(), "unknown MDT (queued metadata model off?)");
+  return mdtRes_[mdt];
 }
 
 }  // namespace beesim::beegfs

@@ -95,6 +95,9 @@ class Deployment {
   std::optional<sim::ResourceIndex> ossResource(std::size_t host) const;
   sim::ResourceIndex ostResource(std::size_t flatTarget) const;
   std::optional<sim::ResourceIndex> backboneResource() const { return backbone_; }
+  /// Metadata targets (non-empty only under the queued MDS/MDT model).
+  std::size_t mdtCount() const { return mdtRes_.size(); }
+  sim::ResourceIndex mdtResource(std::size_t mdt) const;
 
  private:
   struct NodeState {
@@ -131,6 +134,7 @@ class Deployment {
   std::vector<sim::ResourceIndex> serverNicRes_;
   std::vector<std::optional<sim::ResourceIndex>> ossRes_;
   std::vector<sim::ResourceIndex> ostRes_;
+  std::vector<sim::ResourceIndex> mdtRes_;
   std::optional<sim::ResourceIndex> backbone_;
 };
 

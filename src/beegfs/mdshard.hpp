@@ -1,0 +1,42 @@
+// Directory -> MDT shard placement (DESIGN.md §2.10).
+//
+// BeeGFS distributes the namespace across metadata targets per directory:
+// all entries of one directory live on one MDT, and directories spread by a
+// hash of their path.  The chooser is pluggable (MdShardKind) so experiments
+// can compare the BeeGFS-like hash policy against a round-robin upper bound
+// on spread.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "beegfs/params.hpp"
+
+namespace beesim::beegfs {
+
+/// FNV-1a over the bytes of `text` (stable across platforms; the shard map
+/// must not depend on std::hash implementation details).
+std::uint64_t mdPathHash(std::string_view text);
+
+/// Parent directory of `path` ("/beegfs/dir/file" -> "/beegfs/dir"); a path
+/// with no '/' is its own parent (root-level entry).
+std::string_view mdParentDir(std::string_view path);
+
+/// Maps operation paths to MDT indices in [0, mdtCount).  kHashDir is
+/// stateless; kRoundRobin keeps a cursor (deterministic in call order).
+class MdShardChooser {
+ public:
+  MdShardChooser(MdShardKind kind, std::size_t mdtCount);
+
+  std::size_t shardOf(std::string_view path);
+
+  MdShardKind kind() const { return kind_; }
+  std::size_t count() const { return count_; }
+
+ private:
+  MdShardKind kind_;
+  std::size_t count_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace beesim::beegfs

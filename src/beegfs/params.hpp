@@ -105,7 +105,28 @@ struct ClientParams {
   double rampJitterSigmaLog = 0.4;
 };
 
+/// How directories map onto metadata targets when several MDTs exist
+/// (DESIGN.md §2.10).  BeeGFS shards the namespace per directory; the
+/// chooser is pluggable so experiments can compare policies.
+enum class MdShardKind {
+  /// Hash of the parent directory (BeeGFS-like): files in one directory
+  /// share an MDT, distinct directories spread across MDTs.
+  kHashDir,
+  /// Round-robin over MDTs per operation path (upper bound on spread;
+  /// ignores directory affinity).
+  kRoundRobin,
+};
+
+const char* mdShardName(MdShardKind kind);
+
 /// Metadata service cost model (MDS backed by an SSD MDT).
+///
+/// Two models share this struct.  The legacy *scalar* model charges a
+/// jittered latency per operation (createLatency/openLatency/...).  The
+/// *queued* model (DESIGN.md §2.10, off by default) instead runs every
+/// operation as a flow through a per-MDT fluid resource with a concurrency
+/// ramp, so metadata ops contend observably in virtual time; the *Rate
+/// fields are per-MDT saturation throughputs in ops/s.
 struct MetaParams {
   /// File create (rank 0) latency.
   util::Seconds createLatency = 0.004;
@@ -113,8 +134,31 @@ struct MetaParams {
   /// concurrently, so the job pays ~one openLatency, with jitter).
   util::Seconds openLatency = 0.0015;
   util::Seconds statLatency = 0.0008;
+  /// Unlink latency (mdtest-style cleanup phases).
+  util::Seconds unlinkLatency = 0.002;
   /// Log-normal jitter applied to each operation (log-space sigma).
   double jitterSigmaLog = 0.25;
+
+  /// Master switch for the queued MDS/MDT model.  Off keeps runs bitwise
+  /// identical to the scalar model (no MDT resources, no extra rng use).
+  bool queued = false;
+  /// Number of metadata targets the namespace shards across (>= 1).
+  unsigned mdtCount = 1;
+  /// Per-MDT saturation throughput per operation kind, in ops/s.  An SSD
+  /// MDT needs a deep queue to reach these (see saturationDepth); the
+  /// defaults keep the single-op create latency near the scalar model's
+  /// createLatency.
+  double createRate = 2500.0;
+  double openRate = 10000.0;
+  double statRate = 20000.0;
+  double unlinkRate = 4000.0;
+  /// Concurrency ramp: an MDT at queue depth d serves at
+  /// d / (d + saturationDepth - 1) of its saturation throughput, so a
+  /// single isolated op takes saturationDepth/rate seconds and a deep
+  /// queue approaches the full rate.
+  double saturationDepth = 16.0;
+  /// Directory -> MDT placement policy.
+  MdShardKind shard = MdShardKind::kHashDir;
 };
 
 /// Client behaviour when a storage target fails while chunks are in flight

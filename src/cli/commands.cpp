@@ -183,6 +183,45 @@ beegfs::HedgePolicy hedgePolicy(const Args& args) {
   return policy;
 }
 
+/// Shared --mdts/--meta-rate/--md-shard/--md-ops handling: the queued
+/// metadata model (DESIGN.md §2.10).  Any metadata flag switches the run from
+/// the legacy scalar-latency path to the queued MDT service model; with none
+/// of them passed nothing is touched, so default runs keep their exact
+/// legacy bytes.
+void applyMetadataFlags(const Args& args, harness::RunConfig& config) {
+  const bool any = args.get("mdts") || args.get("meta-rate") || args.get("md-shard") ||
+                   args.get("md-ops");
+  if (!any) return;
+  auto& meta = config.fs.meta;
+  meta.queued = true;
+  meta.mdtCount = static_cast<unsigned>(args.getInt("mdts", 1, 1, 4096));
+  const auto rate = args.getDouble("meta-rate", meta.createRate);
+  if (!std::isfinite(rate) || rate <= 0.0) {
+    throw util::ConfigError("--meta-rate must be finite and > 0 (create ops/s per MDT)");
+  }
+  // --meta-rate scales the whole service-rate profile, preserving the
+  // create:open:stat:unlink ratios of the defaults.
+  const double scale = rate / meta.createRate;
+  meta.createRate = rate;
+  meta.openRate *= scale;
+  meta.statRate *= scale;
+  meta.unlinkRate *= scale;
+  const auto shard = args.getString("md-shard", "hash");
+  if (shard == "hash") {
+    meta.shard = beegfs::MdShardKind::kHashDir;
+  } else if (shard == "rr") {
+    meta.shard = beegfs::MdShardKind::kRoundRobin;
+  } else {
+    throw util::ConfigError("--md-shard must be hash|rr");
+  }
+  if (args.get("md-ops")) {
+    ior::MdtestOptions md;
+    md.filesPerRank =
+        static_cast<std::size_t>(args.getInt("md-ops", md.filesPerRank, 1, 1 << 20));
+    config.mdtest = md;
+  }
+}
+
 /// Shared --jobs/--progress handling: worker count (default BEESIM_JOBS,
 /// else serial) plus an optional stderr status line.
 harness::ExecutorOptions executorOptions(const Args& args, const std::string& label) {
@@ -262,6 +301,7 @@ int cmdRun(const Args& args, std::ostream& out) {
   config.qos = qosPolicy(args);
   config.health = healthPolicy(args);
   config.fs.hedge = hedgePolicy(args);
+  applyMetadataFlags(args, config);
   const auto exec = executorOptions(args, "run");
   rejectUnknownFlags(args);
 
@@ -367,6 +407,10 @@ int cmdRun(const Args& args, std::ostream& out) {
   control::HealthStats grayTotals;
   beegfs::HedgeStats hedgeTotals;
   qos::QosStats qosTotals;
+  std::uint64_t mdOpsTotal = 0;
+  double mdSecondsTotal = 0.0;
+  double mdOpsPerSecSum = 0.0;
+  double mdPeakImbalance = 0.0;
   std::size_t faultAborts = 0;
   const auto store = harness::executeCampaign(
       entries, protocol, seed,
@@ -410,6 +454,10 @@ int cmdRun(const Args& args, std::ostream& out) {
         qosTotals.deferrals += record.qos.deferrals;
         qosTotals.throttleSeconds += record.qos.throttleSeconds;
         qosTotals.sloViolations += record.qos.sloViolations;
+        mdOpsTotal += record.md.totalOps;
+        mdSecondsTotal += record.md.end - record.md.start;
+        mdOpsPerSecSum += record.md.opsPerSec;
+        mdPeakImbalance = std::max(mdPeakImbalance, record.md.mdtImbalance);
       },
       exec);
 
@@ -471,6 +519,12 @@ int cmdRun(const Args& args, std::ostream& out) {
         << " throttle=" << util::fmt(qosTotals.throttleSeconds, 2)
         << " s slo_violations=" << qosTotals.sloViolations << "\n";
   }
+  if (config.mdtest) {
+    out << "metadata (totals over " << reps << " reps): ops=" << mdOpsTotal
+        << " md_time=" << util::fmt(mdSecondsTotal, 2)
+        << " s mean_ops_s=" << util::fmt(mdOpsPerSecSum / reps, 0)
+        << " peak_mdt_imbalance=" << util::fmt(mdPeakImbalance, 3) << "\n";
+  }
 
   if (!traceFile.empty() || !traceOut.empty() || !metricsOut.empty()) {
     // One extra traced run (same seed as the campaign root) with the flow
@@ -495,6 +549,11 @@ int cmdRun(const Args& args, std::ostream& out) {
       if (!metricsOut.empty() || !traceOut.empty()) tracer->setMetricsInterval(metricsDt);
       for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
         tracer->trackLink(deployment.serverNicResource(h), cluster.hosts[h].name);
+      }
+      // Under the queued metadata model the MDTs are first-class fluid
+      // resources; surface them as named links in the exported series.
+      for (std::size_t m = 0; m < deployment.mdtCount(); ++m) {
+        tracer->trackLink(deployment.mdtResource(m), "mdt" + std::to_string(m));
       }
     }
     const auto traced = ior::runIor(fs, config.job, config.ior);
@@ -635,6 +694,7 @@ int cmdConcurrent(const Args& args, std::ostream& out) {
   base.qos = qosPolicy(args);
   base.health = healthPolicy(args);
   base.fs.hedge = hedgePolicy(args);
+  applyMetadataFlags(args, base);
   const auto exec = executorOptions(args, "concurrent");
   rejectUnknownFlags(args);
   base.fs.defaultStripe.stripeCount = stripe;
@@ -658,10 +718,16 @@ int cmdConcurrent(const Args& args, std::ostream& out) {
   std::vector<double> perApp;
   std::size_t sharedTargetRuns = 0;
   qos::QosStats qosTotals;
+  std::uint64_t mdOpsTotal = 0;
+  double mdOpsPerSecSum = 0.0;
+  double mdPeakImbalance = 0.0;
   for (const auto& result : results) {
     aggregates.push_back(result.aggregateBandwidth);
     for (const auto& app : result.apps) perApp.push_back(app.bandwidth);
     if (result.sharedTargets > 0) ++sharedTargetRuns;
+    mdOpsTotal += result.md.totalOps;
+    mdOpsPerSecSum += result.md.opsPerSec;
+    mdPeakImbalance = std::max(mdPeakImbalance, result.md.mdtImbalance);
     qosTotals.tokensIssued += result.qos.tokensIssued;
     qosTotals.tokensBorrowed += result.qos.tokensBorrowed;
     qosTotals.tokensReclaimed += result.qos.tokensReclaimed;
@@ -686,6 +752,11 @@ int cmdConcurrent(const Args& args, std::ostream& out) {
         << " MiB deferrals=" << qosTotals.deferrals
         << " throttle=" << util::fmt(qosTotals.throttleSeconds, 2)
         << " s slo_violations=" << qosTotals.sloViolations << "\n";
+  }
+  if (base.mdtest) {
+    out << "metadata (totals over " << reps << " reps): ops=" << mdOpsTotal
+        << " mean_ops_s=" << util::fmt(mdOpsPerSecSum / reps, 0)
+        << " peak_mdt_imbalance=" << util::fmt(mdPeakImbalance, 3) << "\n";
   }
   return 0;
 }
@@ -775,10 +846,21 @@ std::string usage() {
          "                --hedge-deadline S    stall check interval (default 1.0)\n"
          "                --hedge-ratio R       hedge when a chunk's best leg runs below\n"
          "                            R x the peer median rate (default 0.25)\n"
+         "                --mdts N              queued metadata model with N metadata\n"
+         "                            targets (any metadata flag switches from the\n"
+         "                            scalar-latency model to queued MDT service)\n"
+         "                --meta-rate OPS       per-MDT create service rate in ops/s\n"
+         "                            (default 2500; open/stat/unlink scale with it)\n"
+         "                --md-shard hash|rr    directory-to-MDT sharding: hash of the\n"
+         "                            parent directory (default) or round-robin\n"
+         "                --md-ops N            append an mdtest-style metadata phase\n"
+         "                            after the bandwidth phase: N files per rank,\n"
+         "                            create/stat/unlink (the IO500 bw-then-md shape)\n"
          "sweep flags:    --ppn --reps --total --chooser --rebalance*\n"
          "concurrent:     --apps --nodes-per-app --ppn --stripe --total --reps\n"
          "                --rebalance* --qos --qos-rate --qos-burst --qos-borrow\n"
          "                --suspect-ratio --suspect-patience --hedge*\n"
+         "                --mdts --meta-rate --md-shard --md-ops\n"
          "export-cluster: --out FILE\n";
 }
 

@@ -94,6 +94,17 @@ ResultRow makeRow(const CampaignEntry& entry, const PlannedRun& planned,
         static_cast<double>(record.ior.hedge.mirrorSwitchovers);
     row.metrics["hedge_mib"] = util::toMiB(record.ior.hedge.bytesHedged);
   }
+  if (record.mdActive) {
+    // Same contract as fault_*: only runs with an mdtest phase carry these
+    // columns, so campaigns without it keep their exact bytes.
+    row.metrics["md_seconds"] = record.md.end - record.md.start;
+    row.metrics["md_total_ops"] = static_cast<double>(record.md.totalOps);
+    row.metrics["md_ops_s"] = record.md.opsPerSec;
+    row.metrics["md_create_ops_s"] = record.md.create.opsPerSec;
+    row.metrics["md_stat_ops_s"] = record.md.stat.opsPerSec;
+    row.metrics["md_unlink_ops_s"] = record.md.unlink.opsPerSec;
+    row.metrics["md_mdt_imbalance"] = record.md.mdtImbalance;
+  }
   if (record.qosActive) {
     // Same contract as fault_*: only QoS-managed runs carry these columns,
     // so campaigns with QoS off keep their exact bytes.

@@ -54,6 +54,11 @@ ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>
       throw util::ConfigError("per-app QoS specs require an enabled base QoS policy");
     }
   }
+  if (base.mdtest && !base.fs.meta.queued) {
+    throw util::ConfigError(
+        "the mdtest metadata phase requires the queued metadata model "
+        "(BeegfsParams::meta.queued; --mdts/--meta-rate on the CLI)");
+  }
 
   util::Rng rng(seed);
   beegfs::EnvironmentFactors env;
@@ -117,13 +122,16 @@ ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>
   }
 
   std::size_t remaining = apps.size();
+  std::size_t mdRemaining = base.mdtest ? apps.size() : 0;
+  if (base.mdtest) result.appMd.resize(apps.size());
   for (std::size_t a = 0; a < apps.size(); ++a) {
     // Distinct file names so the N-1 files do not collide.
     auto options = apps[a].ior;
     options.testFile += ".app" + std::to_string(a);
     ior::launchIor(
         fs, apps[a].job, options, base.startAt + apps[a].startOffset,
-        [&result, &remaining, &rebalance, &health, a](const ior::IorResult& r) {
+        [&result, &remaining, &mdRemaining, &rebalance, &health, &base, &fs, &fluid,
+         &apps, a](const ior::IorResult& r) {
           result.apps[a] = r;
           // Disarm once the *last* application completes: the controller
           // keeps serving the survivors of a staggered schedule.
@@ -131,11 +139,28 @@ ConcurrentResult runConcurrent(const RunConfig& base, const std::vector<AppSpec>
             if (rebalance) rebalance->disarm();
             if (health) health->disarm();
           }
+          // IO500-style phasing per application: each app's md phase chases
+          // its own bandwidth phase, so staggered apps' metadata ops overlap
+          // and contend on the shared MDTs.
+          if (base.mdtest) {
+            auto mdOptions = *base.mdtest;
+            mdOptions.dir += ".app" + std::to_string(a);
+            ior::launchMdtest(fs, apps[a].job, mdOptions, fluid.now(),
+                              [&result, &mdRemaining, a](const ior::MdtestResult& md) {
+                                result.appMd[a] = md;
+                                --mdRemaining;
+                              });
+          }
         },
         apps[a].pinnedTargets);
   }
   fluid.run();
   BEESIM_ASSERT(remaining == 0, "a concurrent application did not complete");
+  BEESIM_ASSERT(mdRemaining == 0, "a concurrent mdtest phase did not complete");
+  if (base.mdtest) {
+    result.mdActive = true;
+    result.md = ior::aggregateMdtest(result.appMd);
+  }
   if (rebalance) {
     rebalance->cancel();
     result.rebalanceActive = true;

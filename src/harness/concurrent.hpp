@@ -61,6 +61,14 @@ struct ConcurrentResult {
   bool hedgeActive = false;
   /// Experiment-wide hedging accounting (zeroed when !hedgeActive).
   beegfs::HedgeStats hedge;
+  /// True when every application ran an mdtest metadata phase
+  /// (base.mdtest set; phases contend on the shared MDTs).
+  bool mdActive = false;
+  /// Per-application metadata results, in AppSpec order (empty when
+  /// !mdActive).
+  std::vector<ior::MdtestResult> appMd;
+  /// Experiment-wide metadata view (aggregateMdtest over appMd).
+  ior::MdtestResult md;
   /// True when the QoS manager ran for this experiment.
   bool qosActive = false;
   /// Aggregated QoS accounting; sloViolations counts apps whose achieved

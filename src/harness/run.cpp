@@ -40,6 +40,11 @@ ior::RunUtilization measureUtilization(const sim::FlowTracer& tracer,
 
 RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
   const auto wallStart = std::chrono::steady_clock::now();
+  if (config.mdtest && !config.fs.meta.queued) {
+    throw util::ConfigError(
+        "the mdtest metadata phase requires the queued metadata model "
+        "(BeegfsParams::meta.queued; --mdts/--meta-rate on the CLI)");
+  }
   util::Rng rng(seed);
 
   beegfs::EnvironmentFactors env;
@@ -112,6 +117,7 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
   }
 
   bool finished = false;
+  bool mdFinished = !config.mdtest.has_value();
   ior::launchIor(
       fs, config.job, config.ior, config.startAt,
       [&](const ior::IorResult& result) {
@@ -121,10 +127,22 @@ RunRecord runOnce(const RunConfig& config, std::uint64_t seed) {
         // migrations drain, but their tail traffic cannot re-trigger it.
         if (rebalance) rebalance->disarm();
         if (health) health->disarm();
+        // IO500-style phasing: the metadata benchmark follows the bandwidth
+        // phase on the same deployment (the md phase moves no data, so the
+        // frozen controllers see nothing anyway).
+        if (config.mdtest) {
+          ior::launchMdtest(fs, config.job, *config.mdtest, fluid.now(),
+                            [&](const ior::MdtestResult& md) {
+                              record.md = md;
+                              mdFinished = true;
+                            });
+        }
       },
       config.pinnedTargets);
   fluid.run();
   BEESIM_ASSERT(finished, "benchmark run did not complete");
+  BEESIM_ASSERT(mdFinished, "mdtest metadata phase did not complete");
+  if (config.mdtest) record.mdActive = true;
   if (injector) record.injected = injector->stats();
   if (config.fs.mirror.enabled) {
     record.mirrorActive = true;

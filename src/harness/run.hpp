@@ -15,6 +15,7 @@
 #include "control/rebalance.hpp"
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
+#include "ior/mdtest.hpp"
 #include "ior/options.hpp"
 #include "ior/runner.hpp"
 #include "qos/manager.hpp"
@@ -75,6 +76,11 @@ struct RunConfig {
   /// pre-QoS builds.  runOnce registers the whole job as one application at
   /// qos.rate/qos.burst; runConcurrent registers one app per AppSpec.
   qos::QosPolicy qos;
+  /// mdtest-style metadata phase appended after the IOR job completes (the
+  /// IO500's bw-then-md shape; DESIGN.md §2.10).  Requires the queued
+  /// metadata model (fs.meta.queued).  Unset leaves the run bitwise
+  /// identical to md-free builds.
+  std::optional<ior::MdtestOptions> mdtest;
   /// ε bound for the fluid core's deferred re-solves (DESIGN.md §2.7).
   /// 0 (the default) is the exact path -- bitwise identical to pre-ε builds;
   /// > 0 lets every flow's rate lag the exact max-min solution by at most
@@ -107,6 +113,11 @@ struct RunRecord {
   /// True when hedged writes were enabled (campaign rows then carry the
   /// hedge_* metric columns; the counters live in ior.hedge).
   bool hedgeActive = false;
+  /// True when an mdtest metadata phase ran (campaign rows then carry the
+  /// md_* metric columns).
+  bool mdActive = false;
+  /// What the metadata phase measured (zeroed when !mdActive).
+  ior::MdtestResult md;
   /// True when the QoS manager ran (campaign rows then carry the qos_*
   /// metric columns).
   bool qosActive = false;

@@ -1,0 +1,221 @@
+#include "ior/mdtest.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "beegfs/deployment.hpp"
+#include "beegfs/meta.hpp"
+#include "util/error.hpp"
+
+namespace beesim::ior {
+
+std::uint64_t MdtestOptions::phaseOps(int ranks) const {
+  return static_cast<std::uint64_t>(ranks) * static_cast<std::uint64_t>(filesPerRank);
+}
+
+void MdtestOptions::validate() const {
+  if (filesPerRank < 1) throw util::ConfigError("mdtest needs files-per-rank >= 1");
+  if (inflightPerRank < 1) throw util::ConfigError("mdtest needs inflight-per-rank >= 1");
+  if (!createPhase && !statPhase && !unlinkPhase) {
+    throw util::ConfigError("mdtest needs at least one enabled phase");
+  }
+  if (dir.empty()) throw util::ConfigError("mdtest needs a working directory");
+}
+
+namespace {
+
+/// max/mean over per-MDT op counts (1 = perfectly sharded).
+double mdtImbalanceOf(const std::vector<std::uint64_t>& ops) {
+  if (ops.empty()) return 1.0;
+  std::uint64_t total = 0;
+  std::uint64_t peak = 0;
+  for (const auto n : ops) {
+    total += n;
+    peak = std::max(peak, n);
+  }
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / static_cast<double>(ops.size());
+  return static_cast<double>(peak) / mean;
+}
+
+/// Shared mutable state of one in-flight mdtest run.
+struct MdState {
+  beegfs::FileSystem* fs = nullptr;
+  IorJob job;
+  MdtestOptions options;
+  MdtestResult result;
+  std::function<void(const MdtestResult&)> done;
+
+  /// Enabled phases, in mdtest order (create -> stat -> unlink).
+  std::vector<beegfs::MetaOpKind> phases;
+  std::size_t phaseIndex = 0;
+  /// Per-rank cursors of the current phase.
+  std::vector<std::size_t> nextFile;
+  std::vector<std::size_t> completedFiles;
+  int ranksRemaining = 0;
+};
+
+std::string filePath(const MdState& state, int rank, std::size_t index) {
+  // Unique per-rank directories (mdtest -u) give hash sharding something to
+  // spread; a shared directory funnels every op onto one MDT.
+  if (state.options.uniqueDirPerRank) {
+    return state.options.dir + "/rank" + std::to_string(rank) + "/f" +
+           std::to_string(index);
+  }
+  return state.options.dir + "/f" + std::to_string(rank) + "." + std::to_string(index);
+}
+
+MdtestPhase& phaseSlot(MdState& state, beegfs::MetaOpKind kind) {
+  switch (kind) {
+    case beegfs::MetaOpKind::kCreate:
+      return state.result.create;
+    case beegfs::MetaOpKind::kStat:
+      return state.result.stat;
+    case beegfs::MetaOpKind::kUnlink:
+      return state.result.unlink;
+    case beegfs::MetaOpKind::kOpen:
+      break;
+  }
+  BEESIM_ASSERT(false, "mdtest has no open phase");
+  return state.result.create;  // unreachable
+}
+
+void startPhase(const std::shared_ptr<MdState>& state);
+
+void issueOp(const std::shared_ptr<MdState>& state, int rank) {
+  auto& meta = state->fs->deployment().meta();
+  const auto kind = state->phases[state->phaseIndex];
+  const auto index = state->nextFile[static_cast<std::size_t>(rank)]++;
+  const auto shard = meta.opAsync(kind, filePath(*state, rank, index),
+                                  [state, rank](util::Seconds at) {
+    const auto r = static_cast<std::size_t>(rank);
+    ++state->completedFiles[r];
+    if (state->nextFile[r] < state->options.filesPerRank) {
+      issueOp(state, rank);
+      return;
+    }
+    if (state->completedFiles[r] < state->options.filesPerRank) return;
+    // Rank finished the phase; the phase barrier falls with the last rank.
+    if (--state->ranksRemaining > 0) return;
+    auto& phase = phaseSlot(*state, state->phases[state->phaseIndex]);
+    phase.end = at;
+    phase.opsPerSec = phase.end > phase.start
+                          ? static_cast<double>(phase.ops) / (phase.end - phase.start)
+                          : 0.0;
+    ++state->phaseIndex;
+    startPhase(state);
+  });
+  ++state->result.mdtOps[shard];
+}
+
+void startPhase(const std::shared_ptr<MdState>& state) {
+  auto& fluid = state->fs->deployment().fluid();
+  if (state->phaseIndex >= state->phases.size()) {
+    // All phases drained: close the run.
+    auto& result = state->result;
+    result.end = fluid.now();
+    result.totalOps = result.create.ops + result.stat.ops + result.unlink.ops;
+    result.opsPerSec = result.end > result.start
+                           ? static_cast<double>(result.totalOps) / (result.end - result.start)
+                           : 0.0;
+    result.mdtImbalance = mdtImbalanceOf(result.mdtOps);
+    if (state->done) state->done(result);
+    return;
+  }
+  const auto kind = state->phases[state->phaseIndex];
+  auto& phase = phaseSlot(*state, kind);
+  phase.start = fluid.now();
+  phase.ops = state->options.phaseOps(state->job.ranks());
+  const auto ranks = static_cast<std::size_t>(state->job.ranks());
+  state->nextFile.assign(ranks, 0);
+  state->completedFiles.assign(ranks, 0);
+  state->ranksRemaining = state->job.ranks();
+  const auto pipeline = std::min<std::size_t>(
+      static_cast<std::size_t>(state->options.inflightPerRank), state->options.filesPerRank);
+  for (int r = 0; r < state->job.ranks(); ++r) {
+    for (std::size_t k = 0; k < pipeline; ++k) issueOp(state, r);
+  }
+}
+
+}  // namespace
+
+void launchMdtest(beegfs::FileSystem& fs, const IorJob& job, const MdtestOptions& options,
+                  util::Seconds startAt, std::function<void(const MdtestResult&)> done) {
+  options.validate();
+  auto& deployment = fs.deployment();
+  job.validate(deployment.cluster().nodes.size());
+  if (!deployment.meta().queuedModel()) {
+    throw util::ConfigError(
+        "mdtest requires the queued metadata model (MetaParams::queued; "
+        "--mdts/--meta-rate on the CLI)");
+  }
+
+  auto state = std::make_shared<MdState>();
+  state->fs = &fs;
+  state->job = job;
+  state->options = options;
+  state->done = std::move(done);
+  state->result.mdtOps.assign(deployment.meta().mdtCount(), 0);
+  if (options.createPhase) state->phases.push_back(beegfs::MetaOpKind::kCreate);
+  if (options.statPhase) state->phases.push_back(beegfs::MetaOpKind::kStat);
+  if (options.unlinkPhase) state->phases.push_back(beegfs::MetaOpKind::kUnlink);
+
+  deployment.fluid().engine().schedule(startAt, [state] {
+    state->result.start = state->fs->deployment().fluid().now();
+    startPhase(state);
+  });
+}
+
+MdtestResult runMdtest(beegfs::FileSystem& fs, const IorJob& job,
+                       const MdtestOptions& options) {
+  MdtestResult result;
+  bool finished = false;
+  launchMdtest(fs, job, options, fs.deployment().fluid().now(),
+               [&](const MdtestResult& r) {
+                 result = r;
+                 finished = true;
+               });
+  fs.deployment().fluid().run();
+  BEESIM_ASSERT(finished, "mdtest run did not complete");
+  return result;
+}
+
+MdtestResult aggregateMdtest(const std::vector<MdtestResult>& apps) {
+  BEESIM_ASSERT(!apps.empty(), "aggregate mdtest of zero applications");
+  MdtestResult agg;
+  agg.start = apps.front().start;
+  agg.end = apps.front().end;
+  const auto fold = [](MdtestPhase& into, const MdtestPhase& from) {
+    if (from.ops == 0) return;
+    if (into.ops == 0) {
+      into.start = from.start;
+      into.end = from.end;
+    } else {
+      into.start = std::min(into.start, from.start);
+      into.end = std::max(into.end, from.end);
+    }
+    into.ops += from.ops;
+  };
+  for (const auto& app : apps) {
+    agg.start = std::min(agg.start, app.start);
+    agg.end = std::max(agg.end, app.end);
+    fold(agg.create, app.create);
+    fold(agg.stat, app.stat);
+    fold(agg.unlink, app.unlink);
+    agg.totalOps += app.totalOps;
+    if (app.mdtOps.size() > agg.mdtOps.size()) agg.mdtOps.resize(app.mdtOps.size(), 0);
+    for (std::size_t k = 0; k < app.mdtOps.size(); ++k) agg.mdtOps[k] += app.mdtOps[k];
+  }
+  const auto rate = [](const MdtestPhase& p) {
+    return p.end > p.start ? static_cast<double>(p.ops) / (p.end - p.start) : 0.0;
+  };
+  agg.create.opsPerSec = rate(agg.create);
+  agg.stat.opsPerSec = rate(agg.stat);
+  agg.unlink.opsPerSec = rate(agg.unlink);
+  agg.opsPerSec =
+      agg.end > agg.start ? static_cast<double>(agg.totalOps) / (agg.end - agg.start) : 0.0;
+  agg.mdtImbalance = mdtImbalanceOf(agg.mdtOps);
+  return agg;
+}
+
+}  // namespace beesim::ior

@@ -165,35 +165,44 @@ void launchIor(beegfs::FileSystem& fs, const IorJob& job, const IorOptions& opti
     state->hedgeBaseline = fs.hedgeStats();
 
     // Metadata phase: rank 0 creates the file(s); then every rank opens.
+    // Placement happens identically under both metadata models (the chooser
+    // stream sees the same create order), so enabling the queued model
+    // leaves allocations byte-identical; only the *timing* of the phase
+    // differs (scalar latency lookup vs. contended MDT flows).
+    const bool queued = meta.queuedModel();
     const auto chunk = fs.settingsFor(options.testFile).chunkSize;
     std::set<std::size_t> usedTargets;
-    util::Seconds metaCost = 0.0;
+    util::Seconds scalarMetaCost = 0.0;
+    std::vector<std::string> paths;
     state->rankFile.resize(static_cast<std::size_t>(job.ranks()));
     if (options.pattern == AccessPattern::kSharedFile) {
-      metaCost += meta.createCost();
+      if (!queued) scalarMetaCost += meta.createCost();
       const auto handle = pinnedTargets
                               ? fs.createPinned(options.testFile, *pinnedTargets, chunk)
                               : fs.create(options.testFile);
       std::fill(state->rankFile.begin(), state->rankFile.end(), handle);
       const auto& targets = fs.info(handle).pattern.targets();
       usedTargets.insert(targets.begin(), targets.end());
+      paths.push_back(options.testFile);
     } else {
       // N-N: every rank creates its own file (creates contend on the MDS --
       // serialized cost scaled logarithmically inside openAllCost's model;
       // here we charge one create per rank, concurrently, as a max).
       util::Seconds worstCreate = 0.0;
       for (int r = 0; r < job.ranks(); ++r) {
-        worstCreate = std::max(worstCreate, meta.createCost());
-        const auto handle =
-            fs.create(options.testFile + "." + std::to_string(r));
+        if (!queued) worstCreate = std::max(worstCreate, meta.createCost());
+        auto path = options.testFile + "." + std::to_string(r);
+        const auto handle = fs.create(path);
         state->rankFile[static_cast<std::size_t>(r)] = handle;
         const auto& targets = fs.info(handle).pattern.targets();
         usedTargets.insert(targets.begin(), targets.end());
+        paths.push_back(std::move(path));
       }
-      metaCost += worstCreate;
+      scalarMetaCost += worstCreate;
     }
-    metaCost += meta.openAllCost(static_cast<std::size_t>(job.ranks()));
-    state->result.metaTime = metaCost;
+    if (!queued) {
+      scalarMetaCost += meta.openAllCost(static_cast<std::size_t>(job.ranks()));
+    }
     state->result.targetsUsed.assign(usedTargets.begin(), usedTargets.end());
 
     // Read phase: the file must pre-exist with its full extent (IOR reads
@@ -209,30 +218,66 @@ void launchIor(beegfs::FileSystem& fs, const IorJob& job, const IorOptions& opti
       }
     }
 
-    // Declare client-side load so contention and ramp-up apply.
-    const auto ioStart = deployment.fluid().now() + metaCost;
-    for (const auto node : job.nodeIds) {
-      deployment.setNodeProcesses(node, job.ppn);
-      deployment.markNodeJobStart(node, ioStart);
+    // I/O begins at absolute time `ioStart` (start + the metadata phase).
+    const auto beginIo = [state](util::Seconds ioStart) {
+      auto& fs = *state->fs;
+      auto& deployment = fs.deployment();
+      const auto& job = state->job;
+      state->result.metaTime = ioStart - state->result.start;
+
+      // Declare client-side load so contention and ramp-up apply.
+      for (const auto node : job.nodeIds) {
+        deployment.setNodeProcesses(node, job.ppn);
+        deployment.markNodeJobStart(node, ioStart);
+      }
+
+      // Per-rank queue weight: the node's worker budget, split over its ppn
+      // ranks and each rank's per-write flow count (one flow per stripe
+      // target).
+      state->rankQueueWeight.resize(static_cast<std::size_t>(job.ranks()));
+      for (int r = 0; r < job.ranks(); ++r) {
+        const auto node = job.nodeOfRank(r);
+        const auto stripeCount =
+            fs.info(state->rankFile[static_cast<std::size_t>(r)]).pattern.stripeCount();
+        const double inflight = deployment.nodeEffectiveInflight(node, job.ppn);
+        state->rankQueueWeight[static_cast<std::size_t>(r)] =
+            inflight / (static_cast<double>(job.ppn) * static_cast<double>(stripeCount));
+      }
+
+      deployment.fluid().engine().schedule(ioStart, [state] {
+        for (int r = 0; r < state->job.ranks(); ++r) issueSegment(state, r, 0);
+      });
+    };
+
+    if (!queued) {
+      beginIo(deployment.fluid().now() + scalarMetaCost);
+      return;
     }
 
-    // Per-rank queue weight: the node's worker budget, split over its ppn
-    // ranks and each rank's per-write flow count (one flow per stripe
-    // target).
-    state->rankQueueWeight.resize(static_cast<std::size_t>(job.ranks()));
-    for (int r = 0; r < job.ranks(); ++r) {
-      const auto node = job.nodeOfRank(r);
-      const auto stripeCount =
-          fs.info(state->rankFile[static_cast<std::size_t>(r)]).pattern.stripeCount();
-      const double inflight = deployment.nodeEffectiveInflight(node, job.ppn);
-      state->rankQueueWeight[static_cast<std::size_t>(r)] =
-          inflight / (static_cast<double>(job.ppn) * static_cast<double>(stripeCount));
+    // Queued model: the create(s) run as contended MDT flows, then every
+    // rank's open does; I/O starts when the last open lands.
+    const auto sharedPaths = std::make_shared<std::vector<std::string>>(std::move(paths));
+    const auto pendingCreates = std::make_shared<std::size_t>(sharedPaths->size());
+    const bool sharedFile = options.pattern == AccessPattern::kSharedFile;
+    for (const auto& path : *sharedPaths) {
+      meta.opAsync(
+          beegfs::MetaOpKind::kCreate, path,
+          [state, sharedPaths, pendingCreates, sharedFile, beginIo](util::Seconds) {
+            if (--*pendingCreates != 0) return;
+            auto& meta = state->fs->deployment().meta();
+            const auto pendingOpens =
+                std::make_shared<std::size_t>(static_cast<std::size_t>(state->job.ranks()));
+            for (int r = 0; r < state->job.ranks(); ++r) {
+              const auto& path =
+                  sharedFile ? sharedPaths->front()
+                             : (*sharedPaths)[static_cast<std::size_t>(r)];
+              meta.opAsync(beegfs::MetaOpKind::kOpen, path,
+                           [state, sharedPaths, pendingOpens, beginIo](util::Seconds at) {
+                             if (--*pendingOpens == 0) beginIo(at);
+                           });
+            }
+          });
     }
-
-    // I/O phase starts after the metadata phase.
-    deployment.fluid().engine().schedule(ioStart, [state] {
-      for (int r = 0; r < state->job.ranks(); ++r) issueSegment(state, r, 0);
-    });
   });
 }
 
